@@ -1,0 +1,93 @@
+"""Sensitivity: decider period T and power margin epsilon.
+
+The paper fixes T = 1 s (bounded by RAPL's ~0.5 s convergence) and a
+fixed margin epsilon.  These sweeps show how Penelope's end-to-end
+performance responds to both knobs -- faster iteration helps until RAPL's
+enforcement lag dominates; epsilon trades shifting aggressiveness against
+classification noise.
+"""
+
+from __future__ import annotations
+
+from conftest import save_figure
+
+from repro.core.config import PenelopeConfig
+from repro.experiments.harness import RunSpec, run_single
+
+ARGS = dict(n_clients=10, workload_scale=0.3, seed=13)
+PAIR = ("EP", "DC")
+
+PERIODS_S = (0.5, 1.0, 2.0, 4.0)
+EPSILONS_W = (1.0, 5.0, 15.0, 40.0)
+
+
+def _run(period_s=1.0, epsilon_w=5.0):
+    return run_single(
+        RunSpec(
+            "penelope",
+            PAIR,
+            65.0,
+            manager_config=PenelopeConfig(period_s=period_s, epsilon_w=epsilon_w),
+            **ARGS,
+        )
+    )
+
+
+def bench_sensitivity_period(benchmark):
+    results = benchmark.pedantic(
+        lambda: {period: _run(period_s=period) for period in PERIODS_S},
+        rounds=1,
+        iterations=1,
+    )
+    fair = run_single(RunSpec("fair", PAIR, 65.0, **ARGS))
+
+    rows = [
+        "Sensitivity: decider period T (epsilon = 5 W)",
+        f"{'T s':>6} | {'runtime s':>9} | {'vs Fair':>8}",
+        "-" * 30,
+    ]
+    for period, result in results.items():
+        rows.append(
+            f"{period:>6.1f} | {result.runtime_s:>9.2f} | "
+            f"{fair.runtime_s / result.runtime_s:>7.3f}x"
+        )
+    save_figure("sensitivity_period", "\n".join(rows))
+
+    # Every period setting must beat static allocation on this skewed pair,
+    # and a glacial decider shifts less effectively than the 1 s default.
+    for result in results.values():
+        assert result.runtime_s < fair.runtime_s
+        result.audit.check()
+    assert results[4.0].runtime_s >= results[1.0].runtime_s * 0.99
+
+
+def bench_sensitivity_epsilon(benchmark):
+    results = benchmark.pedantic(
+        lambda: {eps: _run(epsilon_w=eps) for eps in EPSILONS_W},
+        rounds=1,
+        iterations=1,
+    )
+    fair = run_single(RunSpec("fair", PAIR, 65.0, **ARGS))
+
+    rows = [
+        "Sensitivity: power margin epsilon (T = 1 s)",
+        f"{'eps W':>6} | {'runtime s':>9} | {'vs Fair':>8} | {'released W':>10}",
+        "-" * 44,
+    ]
+    for eps, result in results.items():
+        rows.append(
+            f"{eps:>6.1f} | {result.runtime_s:>9.2f} | "
+            f"{fair.runtime_s / result.runtime_s:>7.3f}x | "
+            f"{result.recorder.total_released_w():>10.1f}"
+        )
+    save_figure("sensitivity_epsilon", "\n".join(rows))
+
+    for result in results.values():
+        assert result.runtime_s < fair.runtime_s * 1.02
+        result.audit.check()
+    # The tuned mid-range margin beats both extremes: a hair-trigger
+    # margin misclassifies on sensor noise, a huge one both shifts late
+    # and releases in big oscillating chunks.
+    default_runtime = results[5.0].runtime_s
+    assert default_runtime <= results[1.0].runtime_s * 1.02
+    assert default_runtime <= results[40.0].runtime_s * 1.02

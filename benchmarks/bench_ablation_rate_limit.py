@@ -1,0 +1,77 @@
+"""Ablation: the transaction-size limit (Algorithm 2's getMaxSize).
+
+§3.2 argues the 10%/[1,30] W clamp prevents (a) one node hoarding all
+excess and (b) power oscillation.  This bench runs Penelope with the
+limit on and off on a donor-rich workload and compares:
+
+* hoarding -- the largest single-node share of all granted power,
+* oscillation -- how much total cap movement (releases + grants) was
+  needed per watt that ended up usefully placed.
+"""
+
+from __future__ import annotations
+
+from conftest import save_figure
+
+from repro.core.config import PenelopeConfig
+from repro.experiments.harness import RunSpec, run_single
+
+ARGS = dict(n_clients=10, workload_scale=0.3, seed=5)
+PAIR = ("EP", "DC")
+
+
+def _run(enable_rate_limit: bool):
+    return run_single(
+        RunSpec(
+            "penelope",
+            PAIR,
+            65.0,
+            manager_config=PenelopeConfig(enable_rate_limit=enable_rate_limit),
+            **ARGS,
+        )
+    )
+
+
+def _max_share_of_grants(result) -> float:
+    per_node = {}
+    for event in result.recorder.grants():
+        per_node[event.dst] = per_node.get(event.dst, 0.0) + event.watts
+    total = sum(per_node.values())
+    return max(per_node.values()) / total if total else 0.0
+
+
+def _churn_per_useful_watt(result) -> float:
+    released = result.recorder.total_released_w()
+    granted = result.recorder.total_granted_w()
+    return released / granted if granted else float("inf")
+
+
+def bench_ablation_transaction_limit(benchmark):
+    limited = benchmark.pedantic(lambda: _run(True), rounds=1, iterations=1)
+    unlimited = _run(False)
+
+    rows = [
+        "Ablation: Algorithm 2 transaction-size limit (10% clamped to [1, 30] W)",
+        f"{'variant':>12} | {'runtime s':>9} | {'max grant share':>15} | "
+        f"{'released/granted':>16}",
+        "-" * 62,
+    ]
+    for name, result in (("limited", limited), ("unlimited", unlimited)):
+        rows.append(
+            f"{name:>12} | {result.runtime_s:>9.2f} | "
+            f"{_max_share_of_grants(result):>15.3f} | "
+            f"{_churn_per_useful_watt(result):>16.3f}"
+        )
+    save_figure("ablation_rate_limit", "\n".join(rows))
+
+    benchmark.extra_info.update(
+        limited_max_share=round(_max_share_of_grants(limited), 3),
+        unlimited_max_share=round(_max_share_of_grants(unlimited), 3),
+    )
+
+    # The limit spreads grants more evenly across hungry nodes (§3.2's
+    # hoarding argument).
+    assert _max_share_of_grants(limited) <= _max_share_of_grants(unlimited)
+    # Both variants must still respect the budget.
+    limited.audit.check()
+    unlimited.audit.check()

@@ -1,0 +1,74 @@
+"""Ablation: the distributed urgency mechanism (§3).
+
+Urgency exists so a node that donated power and later becomes hungry can
+return to its initial cap quickly instead of crawling back at the
+transaction-size limit.  This bench measures starvation -- node-seconds
+spent more than 10% below the initial cap -- with urgency on and off, on
+the phase-swinging FT+DC pair that triggers it naturally.
+"""
+
+from __future__ import annotations
+
+from conftest import save_figure
+
+from repro.core.config import PenelopeConfig
+from repro.experiments.harness import RunSpec, run_single
+
+ARGS = dict(n_clients=10, workload_scale=0.3, seed=7)
+PAIR = ("FT", "DC")
+
+
+def _starved_node_seconds(result, initial_cap_w: float) -> float:
+    starved = 0.0
+    for node in range(result.spec.n_clients):
+        caps = result.recorder.caps_of(node)
+        for (t0, cap), (t1, _) in zip(caps, caps[1:]):
+            if cap < 0.9 * initial_cap_w:
+                starved += t1 - t0
+    return starved
+
+
+def _run(enable_urgency: bool):
+    return run_single(
+        RunSpec(
+            "penelope",
+            PAIR,
+            65.0,
+            manager_config=PenelopeConfig(enable_urgency=enable_urgency),
+            record_caps=True,
+            **ARGS,
+        )
+    )
+
+
+def bench_ablation_urgency(benchmark):
+    with_urgency = benchmark.pedantic(lambda: _run(True), rounds=1, iterations=1)
+    without_urgency = _run(False)
+    initial = with_urgency.spec.budget_w / with_urgency.spec.n_clients
+
+    starved_on = _starved_node_seconds(with_urgency, initial)
+    starved_off = _starved_node_seconds(without_urgency, initial)
+    urgent_grants = sum(1 for t in with_urgency.recorder.grants() if t.urgent)
+
+    rows = [
+        "Ablation: distributed urgency (§3)",
+        f"{'variant':>12} | {'runtime s':>9} | {'starved node-s':>14} | "
+        f"{'urgent grants':>13}",
+        "-" * 58,
+        f"{'urgency on':>12} | {with_urgency.runtime_s:>9.2f} | "
+        f"{starved_on:>14.1f} | {urgent_grants:>13}",
+        f"{'urgency off':>12} | {without_urgency.runtime_s:>9.2f} | "
+        f"{starved_off:>14.1f} | {0:>13}",
+    ]
+    save_figure("ablation_urgency", "\n".join(rows))
+    benchmark.extra_info.update(
+        starved_node_seconds_on=round(starved_on, 1),
+        starved_node_seconds_off=round(starved_off, 1),
+    )
+
+    # Urgency's purpose: dramatically less time spent below the initial
+    # assignment.
+    assert starved_on < starved_off
+    assert urgent_grants > 0
+    with_urgency.audit.check()
+    without_urgency.audit.check()

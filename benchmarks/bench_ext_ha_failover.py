@@ -1,0 +1,72 @@
+"""Extension: fallback servers for the centralized design (§4.4's noted
+future work), measured against Penelope.
+
+Three systems under the same server-killing fault: plain SLURM (caps
+freeze forever), HA SLURM (clients fail over to a standby after repeated
+timeouts), and Penelope (no coordinator to lose).  The fallback recovers
+most of the loss but still pays the failover gap, the stranded primary
+pool, and a second withheld node.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, save_figure
+
+from repro.cluster.faults import FaultPlan
+from repro.experiments.faulty import predict_fair_runtime_s
+from repro.experiments.harness import RunSpec, run_single
+
+PAIR = ("EP", "DC")
+CAP = 65.0
+
+
+def bench_ha_failover(benchmark):
+    scale = 1.0 if FULL else 0.3
+    n_clients = 20 if FULL else 10
+    fault_at = 0.33 * predict_fair_runtime_s(PAIR, CAP, scale)
+    base = dict(n_clients=n_clients, workload_scale=scale, seed=0)
+
+    def run_all():
+        results = {}
+        results["fair"] = run_single(RunSpec("fair", PAIR, CAP, **base))
+        for manager in ("slurm", "slurm-ha", "penelope"):
+            victim = n_clients if manager in ("slurm", "slurm-ha") else 0
+            plan = FaultPlan().kill(victim, fault_at)
+            results[manager] = run_single(
+                RunSpec(manager, PAIR, CAP, fault_plan=plan, **base)
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    fair = results["fair"].runtime_s
+
+    rows = [
+        "Extension: fallback server (HA) vs peer-to-peer under a "
+        f"coordinator fault at t={fault_at:.0f}s",
+        f"{'system':>10} | {'runtime s':>9} | {'vs Fair':>8} | "
+        f"{'withheld nodes':>14}",
+        "-" * 52,
+    ]
+    withheld = {"fair": 0, "slurm": 1, "slurm-ha": 2, "penelope": 0}
+    for name in ("fair", "slurm", "slurm-ha", "penelope"):
+        result = results[name]
+        rows.append(
+            f"{name:>10} | {result.runtime_s:>9.2f} | "
+            f"{fair / result.runtime_s:>7.3f}x | {withheld[name]:>14}"
+        )
+    save_figure("ext_ha_failover", "\n".join(rows))
+
+    benchmark.extra_info.update(
+        {name: round(fair / results[name].runtime_s, 4) for name in results}
+    )
+
+    # Ordering under a coordinator fault: Penelope >= HA SLURM > plain SLURM.
+    assert results["penelope"].runtime_s <= results["slurm-ha"].runtime_s * 1.02
+    assert results["slurm-ha"].runtime_s < results["slurm"].runtime_s
+    # The HA run actually failed over and kept shifting.
+    failovers = results["slurm-ha"].recorder.counters.get(
+        "slurm-ha.client.failovers", 0
+    )
+    assert failovers >= n_clients * 0.8
+    for result in results.values():
+        result.audit.check()

@@ -1,0 +1,44 @@
+"""Extension: the §4.4 back-to-back multi-job conjecture, measured.
+
+The paper predicts (but does not measure) that with contrasting workloads
+running back to back on the same nodes, a SLURM server failure hurts even
+more than Figure 3 shows: the frozen caps are tuned for the job that was
+running at the failure, which is exactly wrong for the next job.  This
+bench quantifies it and contrasts Penelope's fault cost.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, save_figure
+
+from repro.experiments.multijob import format_multijob, run_multijob_comparison
+
+
+def bench_multijob_fault_amplification(benchmark):
+    scale = 1.0 if FULL else 0.25
+    n_clients = 20 if FULL else 10
+
+    comparison = benchmark.pedantic(
+        lambda: run_multijob_comparison(
+            managers=("slurm", "penelope"),
+            n_clients=n_clients,
+            workload_scale=scale,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_figure("ext_multijob", format_multijob(comparison))
+
+    slurm_cost = comparison.degradation("slurm")
+    penelope_cost = comparison.degradation("penelope")
+    benchmark.extra_info.update(
+        slurm_fault_cost_pct=round(100 * slurm_cost, 1),
+        penelope_fault_cost_pct=round(100 * penelope_cost, 1),
+    )
+
+    # The §4.4 conjecture: SLURM's fault cost is amplified well past the
+    # single-job case, while Penelope barely moves.
+    assert slurm_cost > 0.08
+    assert penelope_cost < 0.05
+    assert slurm_cost > 3 * max(penelope_cost, 0.01)

@@ -1,0 +1,55 @@
+"""Figure 4: median redistribution time (50% of available power) versus
+local-decider frequency.
+
+Paper shape: Penelope's median redistribution time starts well above
+SLURM's at 1 iteration/s but "rapidly improves ... and converges to that
+of SLURM as frequency increases".
+"""
+
+from __future__ import annotations
+
+from conftest import FREQ_SWEEP_FREQS, save_figure
+
+from repro.experiments.report import format_scaling_series
+
+
+def bench_figure4_median_redistribution_vs_frequency(benchmark, frequency_sweep):
+    results = benchmark.pedantic(lambda: frequency_sweep, rounds=1, iterations=1)
+    save_figure(
+        "fig4_redist_median_vs_freq",
+        format_scaling_series(
+            results,
+            x_label="iters/s",
+            metric="redistribution_median_s",
+            title=(
+                "Figure 4: Median redistribution time (50% of available "
+                "power) vs local decider frequency"
+            ),
+        ),
+    )
+
+    low, high = FREQ_SWEEP_FREQS[0], FREQ_SWEEP_FREQS[-1]
+    penelope_low = results[("penelope", low)].redistribution_median_s
+    penelope_high = results[("penelope", high)].redistribution_median_s
+    slurm_low = results[("slurm", low)].redistribution_median_s
+    benchmark.extra_info.update(
+        penelope_median_at_1hz_s=round(penelope_low, 3),
+        penelope_median_at_max_hz_s=round(penelope_high, 3),
+        slurm_median_at_1hz_s=round(slurm_low, 3),
+    )
+
+    # Shape checks (Fig. 4).
+    # SLURM converges faster at low frequency (global knowledge)...
+    assert slurm_low < penelope_low
+    # ...but Penelope improves dramatically with frequency,
+    assert penelope_high < penelope_low / 4
+    # monotonically (allowing small noise between adjacent points),
+    medians = [
+        results[("penelope", f)].redistribution_median_s for f in FREQ_SWEEP_FREQS
+    ]
+    assert all(b <= a * 1.25 for a, b in zip(medians, medians[1:]))
+    # and converges toward SLURM's ballpark at the top of the sweep.
+    slurm_high_regime = min(
+        results[("slurm", f)].redistribution_median_s for f in FREQ_SWEEP_FREQS
+    )
+    assert penelope_high < max(10 * slurm_high_regime, 1.5)

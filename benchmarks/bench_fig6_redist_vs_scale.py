@@ -1,0 +1,47 @@
+"""Figure 6: median redistribution time versus scale (at 1 iteration/s).
+
+Paper shape: "the trends for both systems are unchanged as scale
+increases from 44 nodes to 1056" -- neither system's redistribution time
+degrades with scale, and the gap between them stays essentially constant.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE_SWEEP_SCALES, save_figure
+
+from repro.experiments.report import format_scaling_series
+
+
+def bench_figure6_median_redistribution_vs_scale(benchmark, scale_sweep):
+    results = benchmark.pedantic(lambda: scale_sweep, rounds=1, iterations=1)
+    save_figure(
+        "fig6_redist_median_vs_scale",
+        format_scaling_series(
+            results,
+            x_label="nodes",
+            metric="redistribution_median_s",
+            title=(
+                "Figure 6: Median redistribution time (50% of available "
+                "power) vs scale"
+            ),
+        ),
+    )
+
+    penelope = [
+        results[("penelope", s)].redistribution_median_s for s in SCALE_SWEEP_SCALES
+    ]
+    slurm = [
+        results[("slurm", s)].redistribution_median_s for s in SCALE_SWEEP_SCALES
+    ]
+    benchmark.extra_info.update(
+        penelope_medians_s=[round(v, 3) for v in penelope],
+        slurm_medians_s=[round(v, 3) for v in slurm],
+    )
+
+    # Shape checks (Fig. 6): flat in scale for both systems...
+    assert max(penelope) / min(penelope) < 2.0
+    assert max(slurm) / min(slurm) < 2.0
+    # ...with SLURM ahead (no bottleneck at 1 Hz) and a stable gap.
+    gaps = [p / s for p, s in zip(penelope, slurm)]
+    assert all(g > 1.0 for g in gaps)
+    assert max(gaps) / min(gaps) < 2.5

@@ -1,0 +1,57 @@
+"""Figure 7: mean turnaround time versus local-decider frequency.
+
+Paper shape: SLURM's turnaround climbs steeply with frequency, "levels
+off and slightly declines" once the server starts dropping packets
+(drops cap how long clients wait), with growing standard deviation;
+Penelope's turnaround is flat and orders of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+from conftest import FREQ_SWEEP_FREQS, save_figure
+
+from repro.experiments.report import format_scaling_series
+
+
+def bench_figure7_turnaround_vs_frequency(benchmark, frequency_sweep):
+    results = benchmark.pedantic(lambda: frequency_sweep, rounds=1, iterations=1)
+    for name, metric, title in (
+        ("fig7_turnaround_vs_freq", "turnaround_mean_s",
+         "Figure 7: Mean turnaround time vs local decider frequency"),
+        ("fig7_turnaround_std_vs_freq", "turnaround_std_s",
+         "Figure 7 (companion): turnaround std-dev vs frequency"),
+    ):
+        save_figure(
+            name,
+            format_scaling_series(
+                results, x_label="iters/s", metric=metric, title=title,
+                unit="ms", scale=1e3,
+            ),
+        )
+
+    penelope = [
+        results[("penelope", f)].turnaround_mean_s for f in FREQ_SWEEP_FREQS
+    ]
+    slurm = [results[("slurm", f)].turnaround_mean_s for f in FREQ_SWEEP_FREQS]
+    benchmark.extra_info.update(
+        penelope_turnaround_ms=[round(1e3 * v, 3) for v in penelope],
+        slurm_turnaround_ms=[round(1e3 * v, 3) for v in slurm],
+    )
+
+    # Shape checks (Fig. 7).
+    # Penelope: flat, sub-millisecond, at every frequency.
+    assert max(penelope) / min(penelope) < 2.0
+    assert max(penelope) < 2e-3
+    # SLURM: already tens of milliseconds from burst queueing, grows
+    # further into the saturation knee...
+    peak = max(slurm)
+    assert peak > slurm[0] * 1.3
+    # ...then levels off / declines once drops cap how long clients wait
+    # (the peak is not at the last point -- the paper's "leveling off and
+    # slightly declining").
+    assert slurm[-1] <= peak
+    # SLURM is orders of magnitude above Penelope throughout.
+    assert min(slurm) > 10 * max(penelope)
+    # Growing spread as frequency increases (paper's std-dev note).
+    slurm_stds = [results[("slurm", f)].turnaround.std for f in FREQ_SWEEP_FREQS]
+    assert max(slurm_stds) > slurm_stds[0]

@@ -1,0 +1,56 @@
+"""Figure 8: mean turnaround time versus scale (at 1 iteration/s).
+
+Paper shape: SLURM's server response time is "sharply increasing" with
+scale (tens of milliseconds at 1056 nodes -- still a small fraction of
+the 1 s period, which is why Fig. 6 stays flat), while Penelope's stays
+flat.  The paper extrapolates from its 80-100 microsecond serial service
+time that ~12,500 nodes at 1 Hz would saturate the server outright.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE_SWEEP_SCALES, save_figure
+
+from repro.experiments.report import format_scaling_series
+
+
+def bench_figure8_turnaround_vs_scale(benchmark, scale_sweep):
+    results = benchmark.pedantic(lambda: scale_sweep, rounds=1, iterations=1)
+    save_figure(
+        "fig8_turnaround_vs_scale",
+        format_scaling_series(
+            results,
+            x_label="nodes",
+            metric="turnaround_mean_s",
+            title="Figure 8: Mean turnaround time vs scale",
+            unit="ms",
+            scale=1e3,
+        ),
+    )
+
+    penelope = [
+        results[("penelope", s)].turnaround_mean_s for s in SCALE_SWEEP_SCALES
+    ]
+    slurm = [results[("slurm", s)].turnaround_mean_s for s in SCALE_SWEEP_SCALES]
+    benchmark.extra_info.update(
+        penelope_turnaround_ms=[round(1e3 * v, 3) for v in penelope],
+        slurm_turnaround_ms=[round(1e3 * v, 3) for v in slurm],
+        paper_extrapolated_saturation_nodes=12_500,
+    )
+
+    # Shape checks (Fig. 8).
+    # Penelope: flat with scale.
+    assert max(penelope) / min(penelope) < 2.0
+    # SLURM: sharply increasing -- roughly linear in node count.
+    assert slurm[-1] > slurm[0] * (SCALE_SWEEP_SCALES[-1] / SCALE_SWEEP_SCALES[0]) / 3
+    assert all(b > a for a, b in zip(slurm, slurm[1:]))
+    # At the top scale SLURM waits far longer than Penelope, but still a
+    # small fraction of the 1 s period (the paper's point about Fig. 6).
+    assert slurm[-1] > 5 * penelope[-1]
+    assert slurm[-1] < 0.25
+
+    # The paper's extrapolation: at 80 us serial service, one request per
+    # node per second saturates the server at 1/80e-6 = 12,500 nodes.
+    top = results[("slurm", SCALE_SWEEP_SCALES[-1])]
+    assert top.server_requests_served > 0
+    assert round(1.0 / 80e-6) == 12_500

@@ -1,0 +1,133 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Each ``bench_*`` module regenerates one table/figure of the paper's
+evaluation (see DESIGN.md §4).  Expensive sweeps are computed once per
+session in the fixtures below and shared by the figures they feed
+(the paper's Figs. 4, 5 and 7 come from one frequency sweep; Figs. 6 and
+8 from one scale sweep).
+
+Sizing: reduced by default so the whole suite finishes in minutes.  Set
+``REPRO_BENCH_FULL=1`` for paper-sized runs (20 clients x 36 pairs x 5
+caps; 1056 simulated nodes) -- expect an hour or more.
+
+Every benchmark writes its regenerated table to
+``benchmarks/results/<figure>.txt`` so the output survives pytest's
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scaling import (
+    ScalingSpec,
+    sweep_frequency,
+    sweep_scale,
+)
+from repro.managers.slurm import SlurmConfig
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_figure(name: str, text: str) -> None:
+    """Persist a regenerated table and echo it for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL
+
+
+# -- shared sweep parameters --------------------------------------------------
+
+#: Frequency sweep (Figs. 4, 5, 7).  At reduced node counts the SLURM
+#: server's per-request service time is scaled by (1056 / n) so that its
+#: saturation knee sits at the same frequency as in the paper's 1056-node
+#: simulation; REPRO_BENCH_FULL=1 uses the true 1056 nodes with the
+#: measured 80-100 microseconds.
+FREQ_SWEEP_NODES = 1056 if FULL else 256
+FREQ_SWEEP_FREQS = (
+    (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+    if FULL
+    else (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0)
+)
+
+#: Scale sweep (Figs. 6, 8): the paper's 44 -> 1056 nodes at 1 iter/s.
+SCALE_SWEEP_SCALES = (
+    (44, 132, 264, 528, 792, 1056) if FULL else (44, 132, 264, 528)
+)
+
+#: Nominal/faulty sweeps (Figs. 2, 3).
+PAIR_SUBSET = None if FULL else [
+    ("EP", "DC"), ("CG", "LU"), ("FT", "MG"), ("BT", "DC"),
+    ("EP", "CG"), ("SP", "UA"),
+]
+CAP_SUBSET = (60.0, 70.0, 80.0, 90.0, 100.0) if FULL else (60.0, 80.0, 100.0)
+N_CLIENTS = 20 if FULL else 10
+WORKLOAD_SCALE = 1.0 if FULL else 0.25
+
+
+def _frequency_base_spec() -> ScalingSpec:
+    if FULL:
+        return ScalingSpec(manager="penelope", n_clients=FREQ_SWEEP_NODES)
+    scale_factor = 1056 / FREQ_SWEEP_NODES
+    service = (80e-6 * scale_factor, 100e-6 * scale_factor)
+    return ScalingSpec(
+        manager="penelope",
+        n_clients=FREQ_SWEEP_NODES,
+        manager_config=SlurmConfig(
+            rate_scheme="scale-aware",
+            overhead_factor=0.0,
+            stagger_window_s=2e-3,
+            server_service_time_s=service,
+            server_inbox_capacity=2048,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def frequency_sweep():
+    """One frequency sweep shared by the Fig. 4/5/7 benchmarks."""
+    base = _frequency_base_spec()
+    results = {}
+    # Penelope uses its own default config; only SLURM needs the scaled
+    # service time, so sweep the managers separately.
+    results.update(
+        sweep_frequency(
+            frequencies_hz=FREQ_SWEEP_FREQS,
+            n_clients=FREQ_SWEEP_NODES,
+            managers=("penelope",),
+            seed=0,
+        )
+    )
+    results.update(
+        sweep_frequency(
+            frequencies_hz=FREQ_SWEEP_FREQS,
+            n_clients=FREQ_SWEEP_NODES,
+            managers=("slurm",),
+            seed=0,
+            base=replace(base, manager="slurm"),
+        )
+    )
+    return results
+
+
+@pytest.fixture(scope="session")
+def scale_sweep():
+    """One scale sweep shared by the Fig. 6/8 benchmarks."""
+    return sweep_scale(
+        scales=SCALE_SWEEP_SCALES,
+        frequency_hz=1.0,
+        managers=("penelope", "slurm"),
+        seed=0,
+        observe_for_s=40.0,
+    )

@@ -1,0 +1,71 @@
+"""Aggregate statistics matching the paper's reporting conventions.
+
+§4.1: performance is ``1/runtime``, every system is normalized to *Fair*,
+and figures plot the **geometric mean** across application pairs per
+initial powercap (plus the overall geomean across caps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("geometric mean of no values")
+    if np.any(array <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def normalized_performance(runtime_s: float, fair_runtime_s: float) -> float:
+    """Performance (1/runtime) normalized to the Fair baseline.
+
+    ``> 1`` means faster than Fair.
+    """
+    if runtime_s <= 0 or fair_runtime_s <= 0:
+        raise ValueError("runtimes must be positive")
+    return fair_runtime_s / runtime_s
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary used by the scaling figures."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def as_row(self) -> str:
+        return (
+            f"n={self.count:5d} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} p25={self.p25:.6g} med={self.median:.6g} "
+            f"p75={self.p75:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Summary statistics of a sample (the box in a box-plot)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return DistributionSummary(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        minimum=float(np.min(array)),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.median(array)),
+        p75=float(np.percentile(array, 75)),
+        maximum=float(np.max(array)),
+    )

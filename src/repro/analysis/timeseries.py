@@ -1,0 +1,79 @@
+"""Time-series utilities for the redistribution-time metric."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def cumulative_arrivals(
+    events: Sequence[Tuple[float, float]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Turn ``(time, watts)`` events into a cumulative step curve.
+
+    Returns ``(times, cumulative_watts)`` sorted by time, with multiple
+    events at the same instant merged.
+    """
+    if not events:
+        return np.empty(0), np.empty(0)
+    array = np.asarray(sorted(events), dtype=float)
+    times = array[:, 0]
+    cumulative = np.cumsum(array[:, 1])
+    # Merge simultaneous events: keep the last cumulative value per time.
+    keep = np.append(np.diff(times) > 0, True)
+    return times[keep], cumulative[keep]
+
+
+def time_to_fraction(
+    events: Sequence[Tuple[float, float]],
+    total: float,
+    fraction: float,
+    t0: float = 0.0,
+) -> float:
+    """When the cumulative sum of ``events`` reaches ``fraction * total``.
+
+    This is the paper's *power redistribution time*: the time (relative to
+    the release instant ``t0``) at which the given percentage of the
+    available power has arrived at power-hungry nodes.  Returns ``inf`` if
+    the fraction is never reached -- the caller substitutes the experiment
+    runtime, exactly as the paper does for SLURM's dropped-packet regime
+    (Fig. 5).
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError("fraction must lie in (0, 1]")
+    target = fraction * total
+    times, cumulative = cumulative_arrivals(events)
+    if times.size == 0:
+        return float("inf")
+    index = int(np.searchsorted(cumulative, target - 1e-9, side="left"))
+    if index >= times.size:
+        return float("inf")
+    return float(times[index] - t0)
+
+
+def staircase_value_at(
+    times: np.ndarray, values: np.ndarray, t: float, before: float = 0.0
+) -> float:
+    """Value of a right-continuous step function at ``t``."""
+    if times.size == 0:
+        return before
+    index = int(np.searchsorted(times, t, side="right")) - 1
+    if index < 0:
+        return before
+    return float(values[index])
+
+
+def downsample_curve(
+    times: np.ndarray, values: np.ndarray, n_points: int
+) -> List[Tuple[float, float]]:
+    """Evenly sampled view of a step curve (for compact text reports)."""
+    if n_points <= 1 or times.size == 0:
+        return [(float(t), float(v)) for t, v in zip(times, values)]
+    sample_times = np.linspace(times[0], times[-1], n_points)
+    return [
+        (float(t), staircase_value_at(times, values, float(t)))
+        for t in sample_times
+    ]

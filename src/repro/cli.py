@@ -1,0 +1,203 @@
+"""Command-line entry point: regenerate any of the paper's results.
+
+Examples::
+
+    python -m repro overhead --scale 1.0
+    python -m repro nominal  --caps 60 80 100 --pairs EP:DC CG:LU --clients 8
+    python -m repro faulty   --scale 0.25
+    python -m repro scaling-frequency --clients 264 --freqs 1 5 10 20
+    python -m repro scaling-scale     --scales 44 132 264
+
+Full paper-sized sweeps take minutes; every command accepts reduced
+parameters for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.faulty import run_faulty_sweep
+from repro.experiments.nominal import PAPER_CAPS_W_PER_SOCKET, run_nominal_sweep
+from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.report import (
+    format_faulty,
+    format_frequency_figures,
+    format_nominal,
+    format_overhead,
+    format_scale_figures,
+)
+from repro.experiments.scaling import (
+    PAPER_FREQUENCIES_HZ,
+    PAPER_SCALES,
+    sweep_frequency,
+    sweep_scale,
+)
+
+
+def _parse_pairs(values: Optional[Sequence[str]]) -> Optional[List[Tuple[str, str]]]:
+    if not values:
+        return None
+    pairs = []
+    for item in values:
+        left, _, right = item.partition(":")
+        if not right:
+            raise SystemExit(f"bad pair {item!r}; expected APP:APP, e.g. EP:DC")
+        pairs.append((left.upper(), right.upper()))
+    return pairs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="penelope-repro",
+        description="Reproduce the Penelope (ICPP'22) evaluation on the simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    overhead = sub.add_parser("overhead", help="§4.2 per-node overhead")
+    overhead.add_argument("--cap", type=float, default=80.0, help="W per socket")
+    overhead.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    overhead.add_argument("--seed", type=int, default=0)
+
+    for name, helptext in (
+        ("nominal", "§4.3 / Figure 2"),
+        ("faulty", "§4.4 / Figure 3"),
+    ):
+        cmd = sub.add_parser(name, help=helptext)
+        cmd.add_argument(
+            "--caps", type=float, nargs="+", default=list(PAPER_CAPS_W_PER_SOCKET)
+        )
+        cmd.add_argument(
+            "--pairs",
+            nargs="+",
+            default=None,
+            help="subset of pairs as APP:APP (default: all 36)",
+        )
+        cmd.add_argument("--clients", type=int, default=20)
+        cmd.add_argument("--scale", type=float, default=1.0, help="workload scale")
+        cmd.add_argument("--seed", type=int, default=0)
+
+    freq = sub.add_parser("scaling-frequency", help="§4.5 / Figures 4, 5, 7")
+    freq.add_argument(
+        "--freqs", type=float, nargs="+", default=list(PAPER_FREQUENCIES_HZ)
+    )
+    freq.add_argument("--clients", type=int, default=1056)
+    freq.add_argument("--seed", type=int, default=0)
+
+    scale = sub.add_parser("scaling-scale", help="§4.5 / Figures 6, 8")
+    scale.add_argument("--scales", type=int, nargs="+", default=list(PAPER_SCALES))
+    scale.add_argument("--freq", type=float, default=1.0)
+    scale.add_argument("--seed", type=int, default=0)
+
+    multijob = sub.add_parser(
+        "multijob",
+        help="§4.4 generalization: back-to-back contrasting jobs + fault",
+    )
+    multijob.add_argument("--clients", type=int, default=10)
+    multijob.add_argument("--cap", type=float, default=65.0)
+    multijob.add_argument("--scale", type=float, default=1.0)
+    multijob.add_argument("--seed", type=int, default=0)
+    multijob.add_argument(
+        "--managers",
+        nargs="+",
+        default=["slurm", "penelope"],
+        help="systems to compare (fair is always the baseline)",
+    )
+
+    allocation = sub.add_parser(
+        "allocation",
+        help="allocation quality vs the offline-oracle split",
+    )
+    allocation.add_argument("--clients", type=int, default=10)
+    allocation.add_argument("--cap", type=float, default=65.0)
+    allocation.add_argument("--scale", type=float, default=0.5)
+    allocation.add_argument("--observe", type=float, default=30.0)
+    allocation.add_argument("--seed", type=int, default=0)
+    allocation.add_argument(
+        "--managers", nargs="+", default=["fair", "slurm", "penelope"]
+    )
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+
+    if args.command == "overhead":
+        result = run_overhead_experiment(
+            cap_w_per_socket=args.cap, seed=args.seed, workload_scale=args.scale
+        )
+        print(format_overhead(result))
+    elif args.command == "nominal":
+        result = run_nominal_sweep(
+            caps=args.caps,
+            pairs=_parse_pairs(args.pairs),
+            n_clients=args.clients,
+            seed=args.seed,
+            workload_scale=args.scale,
+        )
+        print(format_nominal(result))
+    elif args.command == "faulty":
+        result = run_faulty_sweep(
+            caps=args.caps,
+            pairs=_parse_pairs(args.pairs),
+            n_clients=args.clients,
+            seed=args.seed,
+            workload_scale=args.scale,
+        )
+        print(format_faulty(result))
+    elif args.command == "scaling-frequency":
+        results = sweep_frequency(
+            frequencies_hz=args.freqs, n_clients=args.clients, seed=args.seed
+        )
+        for text in format_frequency_figures(results).values():
+            print(text)
+            print()
+    elif args.command == "scaling-scale":
+        results = sweep_scale(
+            scales=args.scales, frequency_hz=args.freq, seed=args.seed
+        )
+        for text in format_scale_figures(results).values():
+            print(text)
+            print()
+    elif args.command == "multijob":
+        from repro.experiments.multijob import (
+            format_multijob,
+            run_multijob_comparison,
+        )
+
+        comparison = run_multijob_comparison(
+            managers=args.managers,
+            n_clients=args.clients,
+            cap_w_per_socket=args.cap,
+            seed=args.seed,
+            workload_scale=args.scale,
+        )
+        print(format_multijob(comparison))
+    elif args.command == "allocation":
+        from repro.experiments.allocation import (
+            compare_allocation_quality,
+            format_allocation,
+        )
+
+        traces = compare_allocation_quality(
+            managers=args.managers,
+            n_clients=args.clients,
+            cap_w_per_socket=args.cap,
+            workload_scale=args.scale,
+            observe_s=args.observe,
+            seed=args.seed,
+        )
+        print(format_allocation(traces))
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+
+    print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

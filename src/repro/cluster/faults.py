@@ -1,0 +1,102 @@
+"""Fault injection: scheduled node kills and network partitions (§4.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import run_callable_at
+from repro.sim.process import Process
+
+
+def kill_node_at(cluster: Cluster, node_id: int, at_time_s: float) -> Process:
+    """Schedule a crash of ``node_id`` at simulated time ``at_time_s``.
+
+    The paper's faulty-environment experiment (§4.4) kills SLURM's server
+    node "partway through execution"; the same injector kills any client
+    node for Penelope's resilience tests.
+    """
+    return run_callable_at(
+        cluster.engine,
+        at_time_s,
+        lambda: cluster.kill_node(node_id),
+        name=f"fault.kill[{node_id}]",
+    )
+
+
+def partition_at(
+    cluster: Cluster,
+    isolated: Sequence[int],
+    at_time_s: float,
+    heal_after_s: Optional[float] = None,
+) -> Process:
+    """Schedule a network partition isolating ``isolated`` at ``at_time_s``.
+
+    If ``heal_after_s`` is given the partition heals after that long.
+    """
+    isolated = list(isolated)
+
+    def _apply() -> None:
+        cluster.topology.partition(isolated)
+        if heal_after_s is not None:
+            run_callable_at(
+                cluster.engine,
+                cluster.engine.now + heal_after_s,
+                lambda: cluster.topology.heal(isolated),
+                name="fault.heal",
+            )
+
+    return run_callable_at(
+        cluster.engine, at_time_s, _apply, name=f"fault.partition{isolated!r}"
+    )
+
+
+@dataclass
+class FaultPlan:
+    """A declarative set of faults applied to a cluster.
+
+    Attributes
+    ----------
+    node_kills:
+        ``(node_id, at_time_s)`` pairs.
+    partitions:
+        ``(isolated_ids, at_time_s, heal_after_s_or_None)`` triples.
+    """
+
+    node_kills: List[Tuple[int, float]] = field(default_factory=list)
+    partitions: List[Tuple[Tuple[int, ...], float, Optional[float]]] = field(
+        default_factory=list
+    )
+
+    def kill(self, node_id: int, at_time_s: float) -> "FaultPlan":
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        self.node_kills.append((node_id, at_time_s))
+        return self
+
+    def partition(
+        self,
+        isolated: Sequence[int],
+        at_time_s: float,
+        heal_after_s: Optional[float] = None,
+    ) -> "FaultPlan":
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        self.partitions.append((tuple(isolated), at_time_s, heal_after_s))
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.node_kills and not self.partitions
+
+    def install(self, cluster: Cluster) -> List[Process]:
+        """Arm every fault on ``cluster``; returns the injector processes."""
+        processes = [
+            kill_node_at(cluster, node_id, at) for node_id, at in self.node_kills
+        ]
+        processes += [
+            partition_at(cluster, isolated, at, heal)
+            for isolated, at, heal in self.partitions
+        ]
+        return processes

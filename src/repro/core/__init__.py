@@ -1,0 +1,29 @@
+"""Penelope: the paper's contribution.
+
+A fully distributed power manager.  Every node runs two components:
+
+* a :class:`~repro.core.decider.LocalDecider` (Algorithm 1) -- the
+  feedback loop that classifies the node as having excess or being
+  power-hungry and acts on it, including the *urgent* path for nodes
+  below their initial cap;
+* a :class:`~repro.core.pool.PowerPool` (Algorithm 2) -- the node-local
+  cache of freed power that doubles as a server for peers' requests,
+  rate-limiting non-urgent transactions to
+  ``clamp(10% of pool, LOWER_LIMIT, UPPER_LIMIT)``.
+
+:class:`~repro.core.manager.PenelopeManager` packages one of each per
+node behind the common :class:`~repro.managers.base.PowerManager`
+interface.
+"""
+
+from repro.core.config import PenelopeConfig
+from repro.core.decider import LocalDecider
+from repro.core.manager import PenelopeManager
+from repro.core.pool import PowerPool
+
+__all__ = [
+    "LocalDecider",
+    "PenelopeConfig",
+    "PenelopeManager",
+    "PowerPool",
+]

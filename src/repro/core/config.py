@@ -1,0 +1,54 @@
+"""Penelope configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.managers.base import ManagerConfig
+
+
+@dataclass(frozen=True)
+class PenelopeConfig(ManagerConfig):
+    """Parameters of the Penelope protocol (§3).
+
+    Beyond the shared decider parameters (period ``T``, margin ``ε``,
+    response timeout, overhead), Penelope adds the power-pool rate limit of
+    Algorithm 2: non-urgent transactions receive ``rate * Pool`` watts,
+    clamped to ``[lower_limit_w, upper_limit_w]`` -- "Our system sets
+    UPPER_LIMIT to 30 watts and LOWER_LIMIT to 1 watt" with a 10 % rate.
+
+    ``pool_service_time_s`` is the compute cost of one pool transaction;
+    pools do a single cache update, far cheaper than SLURM's server-side
+    bookkeeping, and the load is spread over all nodes anyway.
+    """
+
+    rate: float = 0.10
+    lower_limit_w: float = 1.0
+    upper_limit_w: float = 30.0
+    pool_service_time_s: Tuple[float, float] = (5e-6, 15e-6)
+    pool_inbox_capacity: int = 128
+    #: Ablation switches (DESIGN.md §5).
+    enable_urgency: bool = True
+    enable_rate_limit: bool = True
+    #: Power-discovery strategy: "random" is the paper's uniform choice;
+    #: "ring" queries peers round-robin; "sticky" returns to the last peer
+    #: that actually granted power (falling back to random when it runs
+    #: dry) -- a cheap learned-discovery extension for the ablation study.
+    discovery: str = "random"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.discovery not in ("random", "ring", "sticky"):
+            raise ValueError(f"unknown discovery strategy {self.discovery!r}")
+        if not (0.0 < self.rate <= 1.0):
+            raise ValueError(f"rate out of (0, 1]: {self.rate!r}")
+        if self.lower_limit_w <= 0:
+            raise ValueError("lower limit must be positive")
+        if self.upper_limit_w < self.lower_limit_w:
+            raise ValueError("upper limit below lower limit")
+        if self.pool_inbox_capacity <= 0:
+            raise ValueError("pool inbox capacity must be positive")
+
+    def with_period(self, period_s: float) -> "PenelopeConfig":
+        return replace(self, period_s=period_s, response_timeout_s=None)

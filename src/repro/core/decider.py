@@ -1,0 +1,350 @@
+"""The local decider: Algorithm 1 of the paper.
+
+Every ``T`` seconds the decider reads the average power ``P`` dissipated
+since the last iteration and compares it to the node cap ``C_t`` with
+margin ``ε``:
+
+* ``P < C_t - ε`` -- the node has **excess**: lower the cap by
+  ``Δ = C_t - P`` *first*, then deposit ``Δ`` in the local pool (ordering
+  preserves the system-wide budget, §3.1).
+* otherwise the node is **power-hungry**: drain the local pool if it has
+  anything (local power discovery); else pick a peer uniformly at random
+  and send a request -- *urgent*, carrying ``α = initialCap - C_t``, if
+  the node is below its initial cap, plain otherwise.
+
+At the end of the iteration the decider honours the pool's
+``localUrgency`` flag: if some other node's urgent request hit our pool
+and we are not ourselves urgent, release everything above the initial cap
+so the urgent node can find it (distributed urgency, §3.1-3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import PenelopeConfig
+from repro.core.pool import PowerPool
+from repro.instrumentation import MetricsRecorder
+from repro.net.messages import (
+    PORT_DECIDER,
+    PORT_POOL,
+    Addr,
+    PowerGrant,
+    PowerRequest,
+)
+from repro.net.network import Network
+from repro.power.rapl import PowerCapInterface
+from repro.sim.engine import Engine
+from repro.sim.events import EventBase
+from repro.sim._stop import stop_process
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Store
+
+
+class LocalDecider:
+    """Penelope's per-node feedback controller (Algorithm 1).
+
+    Parameters
+    ----------
+    engine, network:
+        Simulation kernel and fabric.
+    node_id:
+        The node this decider manages.
+    rapl:
+        The power interface of that node (read power / set cap).
+    pool:
+        The co-located :class:`~repro.core.pool.PowerPool`.
+    peers:
+        Node ids of all *other* Penelope nodes (random discovery targets).
+    initial_cap_w:
+        The node's initial assignment -- the urgency threshold.
+    rng:
+        Random stream for peer choice and start stagger.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: Network,
+        node_id: int,
+        rapl: PowerCapInterface,
+        pool: PowerPool,
+        peers: Sequence[int],
+        initial_cap_w: float,
+        config: PenelopeConfig,
+        rng: np.random.Generator,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.node_id = node_id
+        self.rapl = rapl
+        self.pool = pool
+        self.peers: List[int] = [p for p in peers if p != node_id]
+        self.initial_cap_w = initial_cap_w
+        self.config = config
+        self.recorder = recorder or MetricsRecorder()
+        self._rng = rng
+        self.addr = Addr(node_id, PORT_DECIDER)
+        self.inbox = Store(
+            engine, capacity=config.pool_inbox_capacity, name=f"decider@{node_id}.inbox"
+        )
+        network.attach(self.addr, self.inbox)
+        #: The decider's notion of the node cap, C_t.  Kept separately from
+        #: the RAPL requested cap so accounting never depends on hardware
+        #: clamping order (they are asserted equal in tests).
+        self.cap_w = rapl.cap_w
+        #: Watts received via grants and applied to the cap (for in-flight
+        #: accounting by the manager).
+        self.applied_grants_w = 0.0
+        self.iterations = 0
+        self.requests_sent = 0
+        self.urgent_requests_sent = 0
+        self._ring_index = node_id  # offset ring starts across the cluster
+        self._sticky_peer: Optional[int] = None  # "sticky" discovery memory
+        self._process: Optional[Process] = None
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def is_urgent(self) -> bool:
+        """Urgency = power-hungry *and* below the initial cap (checked at
+        request time inside the loop; this property reflects the cap test)."""
+        return self.cap_w < self.initial_cap_w
+
+    @property
+    def is_running(self) -> bool:
+        return self._process is not None and self._process.is_alive
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> Process:
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError(f"decider {self.node_id} already running")
+        self._process = self.engine.process(
+            self._loop(), name=f"decider@{self.node_id}"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is not None:
+            stop_process(self._process)
+
+    # -- cap helpers -----------------------------------------------------------
+
+    def _set_cap(self, new_cap_w: float) -> None:
+        self.cap_w = new_cap_w
+        self.rapl.set_cap(new_cap_w)
+        self.recorder.cap(self.engine.now, self.node_id, new_cap_w)
+
+    def _raise_cap(self, delta_w: float) -> None:
+        """Raise the cap by ``delta_w``, respecting the node's safe maximum.
+
+        §3: deciders "have information about safe power ranges for the node
+        on which they are running and can ensure that nodes do not exceed
+        that safe range."  Any watts that will not fit under the maximum go
+        back into the local pool instead of being lost.
+        """
+        max_cap = self.rapl.spec.max_cap_w
+        usable = min(delta_w, max(0.0, max_cap - self.cap_w))
+        if usable > 0:
+            self._set_cap(self.cap_w + usable)
+        leftover = delta_w - usable
+        if leftover > 0:
+            self.pool.deposit(leftover)
+            self.recorder.bump("decider.grant_overflow_banked")
+
+    # -- the control loop (Algorithm 1) ------------------------------------------
+
+    def _loop(self) -> Generator[EventBase, Any, None]:
+        config = self.config
+        try:
+            stagger = config.effective_stagger_s
+            if stagger > 0:
+                yield self.engine.timeout(float(self._rng.uniform(0.0, stagger)))
+            # Fixed-cadence ticks ("iterates once every second", §4.5): the
+            # next iteration lands at start + k*T regardless of how long a
+            # response wait took, like a real timer-driven daemon.
+            next_tick = self.engine.now
+            while True:
+                next_tick += config.period_s
+                if next_tick > self.engine.now:
+                    yield self.engine.timeout(next_tick - self.engine.now)
+                self.iterations += 1
+                self._absorb_stale_grants()
+                power_w = self.rapl.read_power()
+                cap_w = self.cap_w
+                urgency = False
+
+                if power_w < cap_w - config.epsilon_w:
+                    # -- excess branch ------------------------------------
+                    delta = cap_w - power_w
+                    # Never cap below the node's safe minimum: release only
+                    # what the safe range allows (§2.1 second constraint).
+                    delta = min(delta, cap_w - self.rapl.spec.min_cap_w)
+                    if delta > 0:
+                        self._set_cap(cap_w - delta)  # lower cap FIRST
+                        self.pool.deposit(delta)
+                        self.recorder.transaction(
+                            time=self.engine.now,
+                            kind="release",
+                            src=self.node_id,
+                            dst=self.node_id,
+                            watts=delta,
+                        )
+                else:
+                    # -- power-hungry branch ---------------------------------
+                    headroom = self.rapl.spec.max_cap_w - cap_w
+                    if self.pool.balance_w > 0:
+                        # Urgency applies to local discovery too: a node
+                        # below its initial cap may take back enough of its
+                        # own cached power to return to that cap in one
+                        # step; only the portion beyond the initial cap is
+                        # subject to the getMaxSize limit (§3: urgent
+                        # requests "are allowed access to as much excess
+                        # power as they can locate until the urgent node
+                        # reaches its initial cap").
+                        allowed = self.pool.max_transaction_w()
+                        if config.enable_urgency and cap_w < self.initial_cap_w:
+                            allowed = max(allowed, self.initial_cap_w - cap_w)
+                        delta = self.pool.withdraw_up_to(min(allowed, headroom))
+                        if delta > 0:
+                            self._raise_cap(delta)
+                            self.recorder.transaction(
+                                time=self.engine.now,
+                                kind="local",
+                                src=self.node_id,
+                                dst=self.node_id,
+                                watts=delta,
+                            )
+                    elif self.peers and headroom > 0:
+                        urgency = (
+                            config.enable_urgency and cap_w < self.initial_cap_w
+                        )
+                        granted = yield from self._request_from_peer(urgency)
+                        if granted > 0:
+                            self._raise_cap(granted)
+
+                # -- distributed urgency back-pressure ---------------------
+                if (
+                    config.enable_urgency
+                    and not urgency
+                    and self.pool.local_urgency
+                ):
+                    self.pool.consume_local_urgency()
+                    release = self.cap_w - self.initial_cap_w
+                    if release > 0:
+                        self._set_cap(self.cap_w - release)
+                        self.pool.deposit(release)
+                        self.recorder.transaction(
+                            time=self.engine.now,
+                            kind="induced-release",
+                            src=self.node_id,
+                            dst=self.node_id,
+                            watts=release,
+                        )
+        except Interrupt:
+            return
+
+    # -- peer transactions ----------------------------------------------------------
+
+    def _choose_peer(self) -> int:
+        """Power discovery (§3.1 uses uniformly random).
+
+        The alternatives exist for the discovery ablation (DESIGN.md §5):
+        ``ring`` walks peers round-robin; ``sticky`` returns to the last
+        peer that actually granted power, falling back to random once it
+        runs dry.
+        """
+        if self.config.discovery == "ring":
+            peer = self.peers[self._ring_index % len(self.peers)]
+            self._ring_index += 1
+            return int(peer)
+        if self.config.discovery == "sticky" and self._sticky_peer is not None:
+            return self._sticky_peer
+        return int(self.peers[int(self._rng.integers(0, len(self.peers)))])
+
+    def _note_grant_outcome(self, peer: int, granted_w: float) -> None:
+        """Update sticky-discovery state after a transaction."""
+        if self.config.discovery != "sticky":
+            return
+        if granted_w > 0:
+            self._sticky_peer = peer
+        elif peer == self._sticky_peer:
+            self._sticky_peer = None
+
+    def _request_from_peer(self, urgent: bool) -> Generator[EventBase, Any, float]:
+        """Send one request and wait (bounded) for its grant.
+
+        Returns the granted watts (0 on timeout or empty grant).  A grant
+        that arrives *after* the timeout is not lost: the next iteration's
+        :meth:`_absorb_stale_grants` deposits it into the local pool.
+        """
+        peer = self._choose_peer()
+        alpha = max(0.0, self.initial_cap_w - self.cap_w) if urgent else 0.0
+        request = PowerRequest(
+            src=self.addr,
+            dst=Addr(peer, PORT_POOL),
+            urgent=urgent,
+            alpha=alpha,
+            iteration=self.iterations,
+        )
+        self.requests_sent += 1
+        if urgent:
+            self.urgent_requests_sent += 1
+        sent_at = self.engine.now
+        self.network.send(request)
+
+        deadline = self.engine.timeout(self.config.timeout_s)
+        granted = 0.0
+        timed_out = False
+        while True:
+            get_event = self.inbox.get()
+            outcome = yield self.engine.any_of([get_event, deadline])
+            del outcome
+            if not get_event.triggered:
+                # Timeout: withdraw the getter so it cannot swallow a late
+                # grant that the next iteration should absorb instead.
+                self.inbox.cancel_get(get_event)
+                timed_out = True
+                self.recorder.bump("decider.request_timeouts")
+                break
+            message = get_event.value
+            if isinstance(message, PowerGrant) and message.reply_to == request.msg_id:
+                granted = message.delta
+                if granted > 0:
+                    self.applied_grants_w += granted
+                break
+            # A stale grant from an earlier timed-out request: bank it.
+            self._absorb_grant(message)
+        self.recorder.turnaround(
+            time=self.engine.now,
+            node=self.node_id,
+            wait_s=self.engine.now - sent_at,
+            granted_w=granted,
+            timed_out=timed_out,
+        )
+        self._note_grant_outcome(peer, granted)
+        return granted
+
+    # -- stale-grant recovery ----------------------------------------------------
+
+    def _absorb_stale_grants(self) -> None:
+        """Bank any grants that arrived after their request timed out.
+
+        Dropping them would leak budget; depositing them in the local pool
+        keeps the power in circulation (and this node drains its own pool
+        first anyway).
+        """
+        while len(self.inbox) > 0:
+            self._absorb_grant(self.inbox.get_nowait())
+
+    def _absorb_grant(self, message: Any) -> None:
+        if isinstance(message, PowerGrant) and message.delta > 0:
+            self.applied_grants_w += message.delta
+            self.pool.deposit(message.delta)
+            self.recorder.bump("decider.stale_grants_banked")
+        else:
+            self.recorder.bump("decider.unexpected_messages")

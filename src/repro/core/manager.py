@@ -1,0 +1,94 @@
+"""PenelopeManager: one decider + one pool per node, no server anywhere."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import PenelopeConfig
+from repro.core.decider import LocalDecider
+from repro.core.pool import PowerPool
+from repro.instrumentation import MetricsRecorder
+from repro.managers.base import PowerManager
+
+
+class PenelopeManager(PowerManager):
+    """The paper's contribution behind the common manager interface.
+
+    ``install`` creates a :class:`~repro.core.pool.PowerPool` and a
+    :class:`~repro.core.decider.LocalDecider` on every client node; there
+    is no coordinator.  Killing any one node removes exactly one pool and
+    one decider -- the property behind the §4.4 fault-tolerance result.
+    """
+
+    name = "penelope"
+
+    def __init__(
+        self,
+        config: Optional[PenelopeConfig] = None,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        super().__init__(config=config or PenelopeConfig(), recorder=recorder)
+        self.config: PenelopeConfig
+        self.pools: Dict[int, PowerPool] = {}
+        self.deciders: Dict[int, LocalDecider] = {}
+
+    # -- agent wiring -------------------------------------------------------
+
+    def _install_agents(self) -> None:
+        assert self.cluster is not None
+        cluster = self.cluster
+        for node_id in self.client_ids:
+            node = cluster.node(node_id)
+            pool = PowerPool(
+                cluster.engine,
+                cluster.network,
+                node_id,
+                self.config,
+                cluster.rngs.stream(f"penelope.pool.{node_id}"),
+                recorder=self.recorder,
+            )
+            decider = LocalDecider(
+                cluster.engine,
+                cluster.network,
+                node_id,
+                node.rapl,
+                pool,
+                peers=self.client_ids,
+                initial_cap_w=self.initial_caps[node_id],
+                config=self.config,
+                rng=cluster.rngs.stream(f"penelope.decider.{node_id}"),
+                recorder=self.recorder,
+            )
+            self.pools[node_id] = pool
+            self.deciders[node_id] = decider
+            # A node crash takes its daemons down with it.
+            node.on_kill.append(pool.stop)
+            node.on_kill.append(decider.stop)
+
+    def _start_agents(self) -> None:
+        for pool in self.pools.values():
+            pool.start()
+        for decider in self.deciders.values():
+            decider.start()
+
+    def _stop_agents(self) -> None:
+        for decider in self.deciders.values():
+            decider.stop()
+        for pool in self.pools.values():
+            pool.stop()
+
+    # -- accounting --------------------------------------------------------------
+
+    def pooled_power_w(self) -> float:
+        return sum(pool.balance_w for pool in self.pools.values())
+
+    def in_flight_power_w(self) -> float:
+        """Watts granted by pools but not yet applied by deciders.
+
+        Grants that were dropped in flight (dead requester, inbox
+        overflow) stay counted here forever -- they are genuinely lost
+        power, and keeping them accounted preserves the budget inequality.
+        """
+        granted = sum(pool.granted_out_w for pool in self.pools.values())
+        applied = sum(d.applied_grants_w for d in self.deciders.values())
+        return max(0.0, granted - applied)

@@ -1,0 +1,173 @@
+"""The power pool: Algorithm 2 of the paper.
+
+Each node hosts a pool -- a local cache of freed power that also serves
+requests from other nodes' deciders.  All mutations of the pool balance
+run atomically with respect to the event loop, mirroring the paper's
+"simple lock" (§3.3): the request handler and the co-located decider's
+deposits/withdrawals never interleave mid-update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PenelopeConfig
+from repro.instrumentation import MetricsRecorder
+from repro.net.messages import PORT_POOL, Addr, Message, PowerGrant, PowerRequest
+from repro.net.network import Network
+from repro.net.server import RequestServer
+from repro.sim.engine import Engine
+
+
+def clamp_transaction(pool_w: float, rate: float, lower_w: float, upper_w: float) -> float:
+    """``getMaxSize`` of Algorithm 2.
+
+    10 % of the pool, clamped into ``[LOWER_LIMIT, UPPER_LIMIT]``: "if the
+    pool size is over 300 it returns 30, and if below 10 it returns 1."
+    """
+    size = rate * pool_w
+    if size > upper_w:
+        return upper_w
+    if size < lower_w:
+        return lower_w
+    return size
+
+
+class PowerPool:
+    """A node's local cache of excess power plus its request server.
+
+    The pool exposes:
+
+    * the decider-side API -- :meth:`deposit`, :meth:`withdraw_up_to`
+      (local power discovery, first stop of a hungry decider), and the
+      ``local_urgency`` flag set by urgent requests;
+    * the network side -- a :class:`~repro.net.server.RequestServer`
+      answering :class:`~repro.net.messages.PowerRequest` messages per
+      Algorithm 2.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: Network,
+        node_id: int,
+        config: PenelopeConfig,
+        rng: np.random.Generator,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.config = config
+        self.recorder = recorder or MetricsRecorder()
+        self.addr = Addr(node_id, PORT_POOL)
+        self._balance_w = 0.0
+        #: Set when the pool serves an urgent request; read and cleared by
+        #: the co-located decider (Algorithm 1's localUrgency flag).
+        self.local_urgency = False
+        self.server = RequestServer(
+            engine,
+            network,
+            self.addr,
+            self._handle_request,
+            rng,
+            service_time=config.pool_service_time_s,
+            inbox_capacity=config.pool_inbox_capacity,
+            name=f"pool@{node_id}",
+        )
+        #: Watts granted to remote requesters (in-flight accounting is done
+        #: by the manager via this counter).
+        self.granted_out_w = 0.0
+        self.requests_handled = 0
+        self.urgent_requests_handled = 0
+
+    # -- balance (decider-side API) ----------------------------------------
+
+    @property
+    def balance_w(self) -> float:
+        return self._balance_w
+
+    def deposit(self, watts: float) -> None:
+        """Add freed power to the cache.
+
+        The caller must have lowered its cap *first* (Algorithm 1 lowers
+        ``C_{t+1}`` before ``Pool += Δ``) so the system-wide budget is
+        never transiently exceeded.
+        """
+        if watts < 0:
+            raise ValueError(f"cannot deposit negative power: {watts!r}")
+        self._balance_w += watts
+
+    def withdraw_up_to(self, watts: float) -> float:
+        """Take up to ``watts`` from the cache; returns the amount taken."""
+        if watts < 0:
+            raise ValueError(f"cannot withdraw negative power: {watts!r}")
+        taken = min(self._balance_w, watts)
+        self._balance_w -= taken
+        return taken
+
+    def max_transaction_w(self) -> float:
+        """The current non-urgent transaction cap (``getMaxSize``)."""
+        if not self.config.enable_rate_limit:
+            return self._balance_w
+        return clamp_transaction(
+            self._balance_w,
+            self.config.rate,
+            self.config.lower_limit_w,
+            self.config.upper_limit_w,
+        )
+
+    # -- server side (Algorithm 2) ---------------------------------------------
+
+    def _handle_request(self, message: Message) -> Tuple[Message, ...]:
+        if not isinstance(message, PowerRequest):
+            # Foreign message kinds are ignored (robustness, not protocol).
+            self.recorder.bump("pool.unexpected_message")
+            return ()
+        self.requests_handled += 1
+        if message.urgent:
+            self.urgent_requests_handled += 1
+            alpha = message.alpha
+            delta = min(self._balance_w, alpha)
+        else:
+            delta = min(self._balance_w, self.max_transaction_w())
+        self._balance_w -= delta
+        self.granted_out_w += delta
+        # localUrgency tracks the urgency of the *last* request served
+        # (Algorithm 2's final line) -- but once set it must survive until
+        # the co-located decider acts on it, or an urgent request followed
+        # by any non-urgent one would be lost.
+        if self.config.enable_urgency and message.urgent:
+            self.local_urgency = True
+        if delta > 0:
+            self.recorder.transaction(
+                time=self.engine.now,
+                kind="grant",
+                src=self.node_id,
+                dst=message.src.node,
+                watts=delta,
+                urgent=message.urgent,
+            )
+        reply = PowerGrant(
+            src=self.addr,
+            dst=message.src,
+            delta=delta,
+            reply_to=message.msg_id,
+            urgent=message.urgent,
+        )
+        return (reply,)
+
+    def consume_local_urgency(self) -> bool:
+        """Read-and-clear the localUrgency flag (decider side)."""
+        flag = self.local_urgency
+        self.local_urgency = False
+        return flag
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self.server.start()
+
+    def stop(self) -> None:
+        self.server.stop()

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per section of the paper's evaluation.
+
+* :mod:`repro.experiments.harness` -- single-run driver shared by all
+  experiments (build cluster, install manager, run, audit).
+* :mod:`repro.experiments.overhead` -- §4.2 (Penelope's per-node overhead).
+* :mod:`repro.experiments.nominal` -- §4.3 / Figure 2.
+* :mod:`repro.experiments.faulty` -- §4.4 / Figure 3.
+* :mod:`repro.experiments.scaling` -- §4.5 / Figures 4-8.
+* :mod:`repro.experiments.report` -- text tables in the paper's format.
+"""
+
+from repro.experiments.harness import (
+    MANAGER_FACTORIES,
+    RunResult,
+    RunSpec,
+    run_single,
+)
+from repro.experiments.metrics import (
+    redistribution_events,
+    redistribution_time_s,
+    turnaround_summary,
+)
+
+__all__ = [
+    "MANAGER_FACTORIES",
+    "RunResult",
+    "RunSpec",
+    "redistribution_events",
+    "redistribution_time_s",
+    "run_single",
+    "turnaround_summary",
+]

@@ -1,0 +1,184 @@
+"""Single-run driver shared by the nominal, faulty and overhead experiments.
+
+A :class:`RunSpec` fully describes one measurement: manager, application
+pair, initial per-socket cap, cluster size, seed and optional fault plan.
+:func:`run_single` builds a fresh simulation universe for it, runs to
+completion, audits the §2.1 constraints and returns a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.faults import FaultPlan
+from repro.core.config import PenelopeConfig
+from repro.core.manager import PenelopeManager
+from repro.instrumentation import MetricsRecorder
+from repro.managers.base import BudgetAudit, ManagerConfig, PowerManager
+from repro.managers.fair import FairManager
+from repro.managers.podd import PoddManager
+from repro.managers.slurm import SlurmConfig, SlurmManager
+from repro.managers.slurm_ha import HaSlurmConfig, HaSlurmManager
+from repro.net.network import NetworkStats
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import assign_pair_to_cluster
+
+#: manager name -> (factory taking an optional ManagerConfig,
+#:                  dedicated server nodes withheld beyond the clients)
+MANAGER_FACTORIES: Dict[str, Tuple[Callable[..., PowerManager], int]] = {
+    "fair": (FairManager, 0),
+    "penelope": (PenelopeManager, 0),
+    "slurm": (SlurmManager, 1),
+    "podd": (PoddManager, 1),
+    "slurm-ha": (HaSlurmManager, 2),
+}
+
+
+def make_manager(
+    name: str,
+    config: Optional[ManagerConfig] = None,
+    recorder: Optional[MetricsRecorder] = None,
+) -> PowerManager:
+    """Instantiate a manager by name, with a type-checked config."""
+    try:
+        factory, _ = MANAGER_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown manager {name!r}; choose from {sorted(MANAGER_FACTORIES)}"
+        ) from None
+    if config is None:
+        return factory(recorder=recorder)
+    if name == "penelope" and not isinstance(config, PenelopeConfig):
+        raise TypeError("penelope requires a PenelopeConfig")
+    if name in ("slurm", "podd") and not isinstance(config, SlurmConfig):
+        raise TypeError(f"{name} requires a SlurmConfig")
+    if name == "slurm-ha" and not isinstance(config, HaSlurmConfig):
+        raise TypeError("slurm-ha requires an HaSlurmConfig")
+    return factory(config=config, recorder=recorder)
+
+
+def extra_nodes(name: str) -> int:
+    """Dedicated server nodes a manager withholds beyond the clients."""
+    return MANAGER_FACTORIES[name][1]
+
+
+def needs_server_node(name: str) -> bool:
+    return extra_nodes(name) > 0
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one experiment run."""
+
+    manager: str
+    pair: Tuple[str, str]
+    cap_w_per_socket: float
+    n_clients: int = 20
+    seed: int = 0
+    #: Shrinks class-D runtimes for quick tests (1.0 = paper-like).
+    workload_scale: float = 1.0
+    manager_config: Optional[ManagerConfig] = None
+    fault_plan: Optional[FaultPlan] = None
+    record_caps: bool = False
+    time_limit_s: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.manager not in MANAGER_FACTORIES:
+            raise ValueError(f"unknown manager {self.manager!r}")
+        if self.n_clients < 2:
+            raise ValueError("need at least two client nodes for a pair")
+        if self.cap_w_per_socket <= 0:
+            raise ValueError("cap must be positive")
+
+    @property
+    def budget_w(self) -> float:
+        """System-wide budget: the per-socket cap over all client sockets."""
+        return self.cap_w_per_socket * 2 * self.n_clients
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run."""
+
+    spec: RunSpec
+    runtime_s: float
+    recorder: MetricsRecorder
+    audit: BudgetAudit
+    network: NetworkStats
+    #: node_id -> finish time for completed workloads.
+    finish_times: Dict[int, float] = field(default_factory=dict)
+    #: Nodes whose workload never finished (killed nodes).
+    unfinished: Tuple[int, ...] = ()
+
+    @property
+    def performance(self) -> float:
+        """The paper's performance metric, 1/runtime (§4.1)."""
+        return 1.0 / self.runtime_s
+
+
+def build_run(spec: RunSpec):
+    """Construct (engine, cluster, manager) for ``spec`` without running.
+
+    Exposed separately so tests and examples can poke at a mid-flight
+    simulation.
+    """
+    engine = Engine()
+    rngs = RngRegistry(seed=spec.seed)
+    extra = extra_nodes(spec.manager)
+    manager = make_manager(
+        spec.manager,
+        config=spec.manager_config,
+        recorder=MetricsRecorder(record_caps=spec.record_caps),
+    )
+    cluster_config = ClusterConfig(
+        n_nodes=spec.n_clients + extra,
+        system_power_budget_w=spec.budget_w * (spec.n_clients + extra) / spec.n_clients,
+    )
+    cluster = Cluster(engine, cluster_config, rngs)
+    assignment = assign_pair_to_cluster(
+        spec.pair,
+        range(spec.n_clients),
+        rng=rngs.stream("workload.jitter"),
+        scale=spec.workload_scale,
+    )
+    cluster.install_assignment(
+        assignment, overhead_factor=manager.config.overhead_factor
+    )
+    manager.install(
+        cluster, client_ids=list(range(spec.n_clients)), budget_w=spec.budget_w
+    )
+    if spec.fault_plan is not None:
+        spec.fault_plan.install(cluster)
+    return engine, cluster, manager
+
+
+def run_single(spec: RunSpec) -> RunResult:
+    """Run one experiment to completion and audit it."""
+    engine, cluster, manager = build_run(spec)
+    manager.start()
+    runtime = cluster.run_to_completion(time_limit_s=spec.time_limit_s)
+    audit = manager.audit()
+    audit.check()
+    manager.stop()
+    finish_times = {
+        node.node_id: node.executor.finished_at
+        for node in cluster.compute_nodes()
+        if node.executor is not None and node.executor.finished_at is not None
+    }
+    unfinished = tuple(
+        node.node_id
+        for node in cluster.compute_nodes()
+        if node.executor is not None and node.executor.finished_at is None
+    )
+    return RunResult(
+        spec=spec,
+        runtime_s=runtime,
+        recorder=manager.recorder,
+        audit=audit,
+        network=cluster.network.stats,
+        finish_times=finish_times,
+        unfinished=unfinished,
+    )

@@ -1,0 +1,200 @@
+"""Back-to-back multi-job runs: the §4.4 generalization.
+
+"Under our experimental setup, only one application runs on every node
+during a single test, but in a generalized environment multiple workloads
+would run on the same hardware back to back.  If these workloads have
+drastically different power consumption patterns, a failure to SLURM's
+server could throttle application performance even more than is indicated
+by our data."
+
+This experiment implements exactly that scenario: every node runs a
+*sequence* of applications with deliberately contrasting power appetites
+(a donor-ish job followed by a hungry one, or vice versa).  A server
+failure during job 1 freezes caps that were tuned for job 1's demand --
+precisely wrong for job 2 -- so the degradation is larger than in the
+single-job Figure 3 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.faults import FaultPlan
+from repro.experiments.harness import extra_nodes, make_manager
+from repro.instrumentation import MetricsRecorder
+from repro.managers.base import ManagerConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.workloads.apps import build_app
+from repro.workloads.phases import Workload, concatenate
+
+#: The default contrasting schedule: half the nodes run hungry-then-donor,
+#: the other half donor-then-hungry, so the power pattern inverts mid-run.
+DEFAULT_SEQUENCES: Tuple[Tuple[str, ...], Tuple[str, ...]] = (
+    ("EP", "DC"),
+    ("DC", "EP"),
+)
+
+
+def build_sequences(
+    n_clients: int,
+    sequences: Sequence[Sequence[str]] = DEFAULT_SEQUENCES,
+    rngs: Optional[RngRegistry] = None,
+    workload_scale: float = 1.0,
+) -> Dict[int, Workload]:
+    """One concatenated multi-job workload per node, round-robin over
+    ``sequences``."""
+    rngs = rngs or RngRegistry(seed=0)
+    jitter = rngs.stream("multijob.jitter")
+    workloads: Dict[int, Workload] = {}
+    for node_id in range(n_clients):
+        sequence = sequences[node_id % len(sequences)]
+        jobs = [build_app(app, rng=jitter, scale=workload_scale) for app in sequence]
+        workloads[node_id] = concatenate("+".join(sequence), jobs)
+    return workloads
+
+
+@dataclass
+class MultiJobResult:
+    """One multi-job run's outcome."""
+
+    manager: str
+    runtime_s: float
+    faulted: bool
+    recorder: MetricsRecorder
+
+    @property
+    def performance(self) -> float:
+        return 1.0 / self.runtime_s
+
+
+def run_multijob(
+    manager_name: str,
+    n_clients: int = 10,
+    cap_w_per_socket: float = 65.0,
+    seed: int = 0,
+    workload_scale: float = 1.0,
+    sequences: Sequence[Sequence[str]] = DEFAULT_SEQUENCES,
+    fault_plan: Optional[FaultPlan] = None,
+    manager_config: Optional[ManagerConfig] = None,
+) -> MultiJobResult:
+    """Run the back-to-back schedule under ``manager_name``."""
+    engine = Engine()
+    rngs = RngRegistry(seed=seed)
+    extra = extra_nodes(manager_name)
+    budget = cap_w_per_socket * 2 * n_clients
+    cluster = Cluster(
+        engine,
+        ClusterConfig(
+            n_nodes=n_clients + extra,
+            system_power_budget_w=budget * (n_clients + extra) / n_clients,
+        ),
+        rngs,
+    )
+    manager = make_manager(manager_name, config=manager_config)
+    workloads = build_sequences(
+        n_clients, sequences=sequences, rngs=rngs, workload_scale=workload_scale
+    )
+    for node_id, workload in workloads.items():
+        cluster.node(node_id).assign_workload(
+            workload, overhead_factor=manager.config.overhead_factor
+        )
+    manager.install(cluster, client_ids=list(range(n_clients)), budget_w=budget)
+    if fault_plan is not None:
+        fault_plan.install(cluster)
+    manager.start()
+    runtime = cluster.run_to_completion()
+    manager.audit().check()
+    manager.stop()
+    return MultiJobResult(
+        manager=manager_name,
+        runtime_s=runtime,
+        faulted=fault_plan is not None and not fault_plan.is_empty,
+        recorder=manager.recorder,
+    )
+
+
+@dataclass
+class MultiJobComparison:
+    """Fair vs dynamic managers, nominal and with a mid-job-1 server kill."""
+
+    fair_runtime_s: float
+    nominal: Dict[str, float]
+    faulty: Dict[str, float]
+
+    def normalized(self, manager: str, faulted: bool) -> float:
+        runtime = (self.faulty if faulted else self.nominal)[manager]
+        return self.fair_runtime_s / runtime
+
+    def degradation(self, manager: str) -> float:
+        """Relative slowdown caused by the fault (0 = unaffected)."""
+        return self.faulty[manager] / self.nominal[manager] - 1.0
+
+
+def run_multijob_comparison(
+    managers: Sequence[str] = ("slurm", "penelope"),
+    n_clients: int = 10,
+    cap_w_per_socket: float = 65.0,
+    seed: int = 0,
+    workload_scale: float = 1.0,
+    fault_at_fraction: float = 0.25,
+) -> MultiJobComparison:
+    """The §4.4 generalization experiment.
+
+    The fault strikes during job 1 (at ``fault_at_fraction`` of the Fair
+    runtime), so the frozen caps are tuned for the *wrong* job afterwards.
+    """
+    fair = run_multijob(
+        "fair",
+        n_clients=n_clients,
+        cap_w_per_socket=cap_w_per_socket,
+        seed=seed,
+        workload_scale=workload_scale,
+    )
+    nominal: Dict[str, float] = {}
+    faulty: Dict[str, float] = {}
+    for manager in managers:
+        nominal[manager] = run_multijob(
+            manager,
+            n_clients=n_clients,
+            cap_w_per_socket=cap_w_per_socket,
+            seed=seed,
+            workload_scale=workload_scale,
+        ).runtime_s
+        fault_time = fault_at_fraction * fair.runtime_s
+        plan = FaultPlan()
+        if extra_nodes(manager) > 0:
+            plan.kill(n_clients, fault_time)  # the (first) server node
+        else:
+            plan.kill(0, fault_time)  # any client; none is special
+        faulty[manager] = run_multijob(
+            manager,
+            n_clients=n_clients,
+            cap_w_per_socket=cap_w_per_socket,
+            seed=seed,
+            workload_scale=workload_scale,
+            fault_plan=plan,
+        ).runtime_s
+    return MultiJobComparison(
+        fair_runtime_s=fair.runtime_s, nominal=nominal, faulty=faulty
+    )
+
+
+def format_multijob(comparison: MultiJobComparison) -> str:
+    """Text table for the back-to-back experiment."""
+    lines = [
+        "Back-to-back multi-job runs (§4.4 generalization): contrasting jobs "
+        "per node, fault during job 1",
+        f"{'system':>10} | {'nominal vs Fair':>15} | {'faulty vs Fair':>14} | "
+        f"{'fault cost':>10}",
+        "-" * 60,
+    ]
+    for manager in sorted(comparison.nominal):
+        lines.append(
+            f"{manager:>10} | {comparison.normalized(manager, False):>14.3f}x | "
+            f"{comparison.normalized(manager, True):>13.3f}x | "
+            f"{100 * comparison.degradation(manager):>9.1f}%"
+        )
+    return "\n".join(lines)

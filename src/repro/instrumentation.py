@@ -1,0 +1,159 @@
+"""Event recording shared by all power managers.
+
+Every manager (Penelope, SLURM, Fair, PoDD) records the same event
+vocabulary into a :class:`MetricsRecorder`; the analysis layer
+(:mod:`repro.experiments.metrics`) derives the paper's metrics from it:
+
+* **power redistribution time** -- from ``release`` and ``grant`` events,
+* **turnaround time** -- from ``turnaround`` samples,
+* cap/pool timelines and budget audits -- from ``cap`` and ``pool`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class TransactionEvent:
+    """One power movement.
+
+    ``kind`` is one of:
+
+    * ``"release"`` -- a decider freed power into a pool/server,
+    * ``"grant"`` -- a pool/server granted power to a decider,
+    * ``"local"`` -- a decider drained its own local pool,
+    * ``"induced-release"`` -- power released due to urgency back-pressure.
+    """
+
+    time: float
+    kind: str
+    src: int
+    dst: int
+    watts: float
+    urgent: bool = False
+
+
+@dataclass(frozen=True)
+class TurnaroundSample:
+    """Time a decider spent waiting for a pool/server response."""
+
+    time: float
+    node: int
+    wait_s: float
+    granted_w: float
+    timed_out: bool
+
+
+@dataclass(frozen=True)
+class CapSample:
+    """A node's requested powercap after a decider iteration."""
+
+    time: float
+    node: int
+    cap_w: float
+
+
+class MetricsRecorder:
+    """Append-only event log for one simulation run.
+
+    Recording every cap sample of a thousand-node run would dominate
+    memory, so cap sampling can be disabled; transaction and turnaround
+    events are always kept (they are what the paper's figures need).
+    """
+
+    def __init__(self, record_caps: bool = True) -> None:
+        self.transactions: List[TransactionEvent] = []
+        self.turnarounds: List[TurnaroundSample] = []
+        self.caps: List[CapSample] = []
+        self._record_caps = record_caps
+        #: Free-form counters managers may bump (drops, retries, ...).
+        self.counters: Dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def transaction(
+        self,
+        time: float,
+        kind: str,
+        src: int,
+        dst: int,
+        watts: float,
+        urgent: bool = False,
+    ) -> None:
+        if watts < 0:
+            raise ValueError(f"negative transaction size {watts!r}")
+        self.transactions.append(
+            TransactionEvent(
+                time=time, kind=kind, src=src, dst=dst, watts=watts, urgent=urgent
+            )
+        )
+
+    def turnaround(
+        self,
+        time: float,
+        node: int,
+        wait_s: float,
+        granted_w: float,
+        timed_out: bool,
+    ) -> None:
+        self.turnarounds.append(
+            TurnaroundSample(
+                time=time,
+                node=node,
+                wait_s=wait_s,
+                granted_w=granted_w,
+                timed_out=timed_out,
+            )
+        )
+
+    def cap(self, time: float, node: int, cap_w: float) -> None:
+        if self._record_caps:
+            self.caps.append(CapSample(time=time, node=node, cap_w=cap_w))
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + by
+
+    # -- simple views --------------------------------------------------------
+
+    def grants(self) -> List[TransactionEvent]:
+        return [t for t in self.transactions if t.kind == "grant"]
+
+    def releases(self) -> List[TransactionEvent]:
+        return [
+            t
+            for t in self.transactions
+            if t.kind in ("release", "induced-release")
+        ]
+
+    def total_granted_w(self) -> float:
+        return sum(t.watts for t in self.grants())
+
+    def total_released_w(self) -> float:
+        return sum(t.watts for t in self.releases())
+
+    def turnaround_waits(self, include_timeouts: bool = True) -> List[float]:
+        return [
+            s.wait_s
+            for s in self.turnarounds
+            if include_timeouts or not s.timed_out
+        ]
+
+    def caps_of(self, node: int) -> List[Tuple[float, float]]:
+        return [(s.time, s.cap_w) for s in self.caps if s.node == node]
+
+
+def merge_recorders(recorders: Iterable[MetricsRecorder]) -> MetricsRecorder:
+    """Merge several runs' logs (used by repetition sweeps)."""
+    merged = MetricsRecorder()
+    for recorder in recorders:
+        merged.transactions.extend(recorder.transactions)
+        merged.turnarounds.extend(recorder.turnarounds)
+        merged.caps.extend(recorder.caps)
+        for key, value in recorder.counters.items():
+            merged.counters[key] = merged.counters.get(key, 0) + value
+    merged.transactions.sort(key=lambda t: t.time)
+    merged.turnarounds.sort(key=lambda t: t.time)
+    merged.caps.sort(key=lambda t: t.time)
+    return merged

@@ -1,0 +1,262 @@
+"""The common power-manager interface and the budget audit.
+
+§2.1 gives the two hard constraints every manager must keep:
+
+1. the sum of node-level caps may not exceed the system-wide cap, and
+2. every node-level cap must stay within its node's safe range.
+
+:class:`BudgetAudit` checks both on demand; integration tests call it
+after every experiment, and property tests call it at random instants.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.instrumentation import MetricsRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """Parameters shared by every dynamic manager.
+
+    Attributes
+    ----------
+    period_s:
+        ``T`` -- seconds between local-decider iterations (1 s in the
+        paper; the scaling study sweeps its inverse, the frequency).
+    epsilon_w:
+        The power margin ``ε`` that classifies a node as power-hungry
+        (``P > C - ε``) versus having excess.
+    response_timeout_s:
+        How long a decider waits for a pool/server response before giving
+        up (defaults to the period).
+    overhead_factor:
+        Application slowdown caused by running the management daemons;
+        §4.2 measures ~1.3 % for Penelope.
+    stagger_start:
+        Start deciders at random offsets inside the first period so a
+        simulated cluster does not iterate in lockstep (real daemons start
+        asynchronously).
+    stagger_window_s:
+        Width of the start-offset window; ``None`` means one full period.
+        The scaling study (§4.5) uses a millisecond-scale window: deciders
+        launched together iterate near-lockstep, which is what drives the
+        request bursts behind the central server's queueing delays.
+    """
+
+    period_s: float = 1.0
+    epsilon_w: float = 5.0
+    response_timeout_s: Optional[float] = None
+    overhead_factor: float = 0.013
+    stagger_start: bool = True
+    stagger_window_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.epsilon_w < 0:
+            raise ValueError("epsilon must be non-negative")
+        if self.response_timeout_s is not None and self.response_timeout_s <= 0:
+            raise ValueError("response timeout must be positive")
+        if not (0.0 <= self.overhead_factor < 1.0):
+            raise ValueError("overhead_factor out of [0, 1)")
+        if self.stagger_window_s is not None and self.stagger_window_s < 0:
+            raise ValueError("stagger window must be non-negative")
+
+    @property
+    def timeout_s(self) -> float:
+        return (
+            self.response_timeout_s
+            if self.response_timeout_s is not None
+            else self.period_s
+        )
+
+    @property
+    def effective_stagger_s(self) -> float:
+        """The start-offset window actually used (0 when staggering is off)."""
+        if not self.stagger_start:
+            return 0.0
+        return (
+            self.stagger_window_s
+            if self.stagger_window_s is not None
+            else self.period_s
+        )
+
+    def with_period(self, period_s: float) -> "ManagerConfig":
+        """This config at a different decider period (frequency sweeps)."""
+        return replace(self, period_s=period_s, response_timeout_s=None)
+
+
+@dataclass
+class BudgetAudit:
+    """Snapshot of where every watt of the budget is accounted.
+
+    ``caps_w + pooled_w + in_flight_w + lost_w`` must never exceed
+    ``budget_w`` (beyond float tolerance); dropped grant messages and dead
+    nodes' frozen caps make the inequality strict rather than tight.
+    """
+
+    budget_w: float
+    caps_w: float
+    pooled_w: float
+    in_flight_w: float
+    lost_w: float
+    unsafe_caps: List[int] = field(default_factory=list)
+
+    TOLERANCE_W = 1e-6
+
+    @property
+    def accounted_w(self) -> float:
+        return self.caps_w + self.pooled_w + self.in_flight_w + self.lost_w
+
+    @property
+    def slack_w(self) -> float:
+        return self.budget_w - self.accounted_w
+
+    @property
+    def budget_ok(self) -> bool:
+        return self.accounted_w <= self.budget_w + self.TOLERANCE_W
+
+    @property
+    def caps_safe(self) -> bool:
+        return not self.unsafe_caps
+
+    def check(self) -> None:
+        """Raise ``AssertionError`` if either §2.1 constraint is violated."""
+        if not self.budget_ok:
+            raise AssertionError(
+                f"budget violated: accounted {self.accounted_w:.6f} W > "
+                f"budget {self.budget_w:.6f} W "
+                f"(caps={self.caps_w:.3f}, pooled={self.pooled_w:.3f}, "
+                f"in-flight={self.in_flight_w:.3f}, lost={self.lost_w:.3f})"
+            )
+        if not self.caps_safe:
+            raise AssertionError(f"unsafe caps on nodes {self.unsafe_caps!r}")
+
+
+class PowerManager(abc.ABC):
+    """Something that assigns and (possibly) shifts node-level powercaps.
+
+    Lifecycle: construct -> :meth:`install` (wire onto a cluster, set
+    initial caps) -> :meth:`start` (launch daemons) -> simulation runs ->
+    :meth:`stop`.
+    """
+
+    #: Short identifier used in reports ("fair", "slurm", "penelope", ...).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        config: Optional[ManagerConfig] = None,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self.config = config or ManagerConfig()
+        self.recorder = recorder or MetricsRecorder()
+        self.cluster: Optional["Cluster"] = None
+        self.client_ids: List[int] = []
+        self.budget_w: float = 0.0
+        self.initial_caps: Dict[int, float] = {}
+        self._installed = False
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def install(
+        self,
+        cluster: "Cluster",
+        client_ids: Sequence[int],
+        budget_w: float,
+    ) -> None:
+        """Wire the manager onto ``cluster`` and set initial caps.
+
+        ``client_ids`` are the nodes under management (a SLURM server node
+        is *not* a client); the initial assignment divides ``budget_w``
+        evenly among them, like all three systems in §4.3.
+        """
+        if self._installed:
+            raise RuntimeError(f"{self.name} already installed")
+        ids = list(client_ids)
+        if not ids:
+            raise ValueError("no client nodes")
+        share = budget_w / len(ids)
+        spec = cluster.config.spec
+        if not spec.is_safe_cap(share):
+            raise ValueError(
+                f"even split {share:.1f} W/node is outside the safe window"
+            )
+        self.cluster = cluster
+        self.client_ids = ids
+        self.budget_w = budget_w
+        for node_id in ids:
+            actual = cluster.node(node_id).rapl.set_cap(share)
+            self.initial_caps[node_id] = actual
+        self._install_agents()
+        self._installed = True
+
+    def start(self) -> None:
+        if not self._installed:
+            raise RuntimeError(f"{self.name} not installed")
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._start_agents()
+        self._started = True
+
+    def stop(self) -> None:
+        if self._started:
+            self._stop_agents()
+            self._started = False
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def _install_agents(self) -> None:
+        """Create per-node agents / servers (cluster is wired by now)."""
+
+    @abc.abstractmethod
+    def _start_agents(self) -> None:
+        """Launch agent processes."""
+
+    @abc.abstractmethod
+    def _stop_agents(self) -> None:
+        """Tear agent processes down."""
+
+    # -- accounting --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def pooled_power_w(self) -> float:
+        """Power currently cached in pools/servers (W)."""
+
+    @abc.abstractmethod
+    def in_flight_power_w(self) -> float:
+        """Power riding in unapplied grant messages (W)."""
+
+    def lost_power_w(self) -> float:
+        """Power permanently lost (dropped grants, dead servers)."""
+        return 0.0
+
+    def audit(self) -> BudgetAudit:
+        """Account for every watt of the budget right now (§2.1 checks)."""
+        if self.cluster is None:
+            raise RuntimeError("manager not installed")
+        spec = self.cluster.config.spec
+        caps = 0.0
+        unsafe: List[int] = []
+        for node_id in self.client_ids:
+            cap = self.cluster.node(node_id).rapl.cap_w
+            caps += cap
+            if not spec.is_safe_cap(cap):
+                unsafe.append(node_id)
+        return BudgetAudit(
+            budget_w=self.budget_w,
+            caps_w=caps,
+            pooled_w=self.pooled_power_w(),
+            in_flight_w=self.in_flight_power_w(),
+            lost_w=self.lost_power_w(),
+            unsafe_caps=unsafe,
+        )

@@ -1,0 +1,47 @@
+"""Fair: static even split of the system-wide cap (§2.3.1).
+
+Each node gets ``C_system / N`` once, at install, and nothing ever moves.
+Fair "trivially enforces the power budget with no overhead" and is the
+baseline every result in the paper is normalized to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.instrumentation import MetricsRecorder
+from repro.managers.base import ManagerConfig, PowerManager
+
+
+class FairManager(PowerManager):
+    """Static even allocation; power discovery and assignment are trivial."""
+
+    name = "fair"
+
+    def __init__(
+        self,
+        config: Optional[ManagerConfig] = None,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        # Fair runs no daemons, so it also has no overhead (§2.2's point
+        # that static methods trivially overcome fault-tolerance).
+        base = config or ManagerConfig()
+        if base.overhead_factor != 0.0:
+            base = replace(base, overhead_factor=0.0)
+        super().__init__(config=base, recorder=recorder)
+
+    def _install_agents(self) -> None:
+        pass
+
+    def _start_agents(self) -> None:
+        pass
+
+    def _stop_agents(self) -> None:
+        pass
+
+    def pooled_power_w(self) -> float:
+        return 0.0
+
+    def in_flight_power_w(self) -> float:
+        return 0.0

@@ -1,0 +1,114 @@
+"""A PoDD-style hierarchical power manager (§2.3.3).
+
+PoDD targets *coupled* workloads: it first learns per-application optimal
+powercaps from short profiling runs, performs a centralized top-level
+assignment of node caps proportional to each side's needs, and then runs a
+SLURM-like centralized shifting system for local refinement.
+
+Our implementation reuses the centralized machinery of
+:class:`~repro.managers.slurm.SlurmManager` and replaces the initial even
+split with a profile-proportional assignment: each node's initial cap is
+proportional to the work-weighted mean power demand of the workload it
+will run (the offline profile), normalized to the budget and clamped into
+the safe window.  This captures PoDD's distinguishing idea -- hierarchical
+power *assignment* on top of centralized power *discovery*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+from repro.instrumentation import MetricsRecorder
+from repro.managers.slurm import SlurmConfig, SlurmManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+def proportional_caps(
+    demands_w: Dict[int, float],
+    budget_w: float,
+    min_cap_w: float,
+    max_cap_w: float,
+) -> Dict[int, float]:
+    """Split ``budget_w`` across nodes proportionally to their demand.
+
+    Uses iterative water-filling so clamping one node into the safe window
+    redistributes the difference over the others instead of violating the
+    budget or starving anyone below the safe minimum.
+    """
+    if not demands_w:
+        raise ValueError("no nodes to assign")
+    n = len(demands_w)
+    if budget_w < n * min_cap_w - 1e-9:
+        raise ValueError(
+            f"budget {budget_w:.1f} W cannot give {n} nodes the safe minimum"
+        )
+    caps = {node: min_cap_w for node in demands_w}
+    remaining = budget_w - n * min_cap_w
+    # Nodes still able to absorb more power, with their desire above the
+    # amount already assigned.
+    open_nodes = {
+        node: max(0.0, min(demands_w[node], max_cap_w) - min_cap_w)
+        for node in demands_w
+    }
+    for _ in range(n):
+        active = {node: want for node, want in open_nodes.items() if want > 1e-12}
+        if remaining <= 1e-12 or not active:
+            break
+        total_want = sum(active.values())
+        scale = min(1.0, remaining / total_want)
+        for node, want in active.items():
+            grant = want * scale
+            caps[node] += grant
+            open_nodes[node] = want - grant
+            remaining -= grant
+    # Any budget left over (everyone saturated) is simply not assigned --
+    # power management systems "do not need to fully utilize the
+    # system-wide powercap" (§2.2.2).
+    return caps
+
+
+class PoddManager(SlurmManager):
+    """Hierarchical assignment + centralized shifting."""
+
+    name = "podd"
+
+    def __init__(
+        self,
+        config: Optional[SlurmConfig] = None,
+        recorder: Optional[MetricsRecorder] = None,
+        server_node_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            config=config, recorder=recorder, server_node_id=server_node_id
+        )
+
+    def install(
+        self,
+        cluster: "Cluster",
+        client_ids: Sequence[int],
+        budget_w: float,
+    ) -> None:
+        """Even split first (validates the budget), then the hierarchical
+        top-level assignment from the workloads' offline profiles."""
+        super().install(cluster, client_ids, budget_w)
+        spec = cluster.config.spec
+        demands: Dict[int, float] = {}
+        for node_id in self.client_ids:
+            executor = cluster.node(node_id).executor
+            if executor is None:
+                # A managed node with no workload only needs its idle floor.
+                demands[node_id] = spec.min_cap_w
+            else:
+                demands[node_id] = executor.workload.mean_demand_w(spec)
+        caps = proportional_caps(
+            demands, budget_w, spec.min_cap_w, spec.max_cap_w
+        )
+        for node_id, cap in caps.items():
+            actual = cluster.node(node_id).rapl.set_cap(cap)
+            self.initial_caps[node_id] = actual
+            if self.clients:
+                client = self.clients[node_id]
+                client.cap_w = actual
+                client.initial_cap_w = actual

@@ -1,0 +1,146 @@
+"""Typed messages exchanged by deciders, pools and the central server.
+
+All power-management traffic in both Penelope and the SLURM-style manager
+is expressed with these four message types:
+
+* :class:`PowerRequest` -- a power-hungry decider asking a pool/server for
+  power; carries the urgency flag and, when urgent, the amount ``alpha``
+  needed to return to the initial cap (Algorithm 1).
+* :class:`PowerGrant` -- the response carrying the granted amount ``delta``
+  (Algorithm 2).
+* :class:`ExcessReport` -- a decider depositing freed power (SLURM clients
+  report excess to the server; in Penelope deposits are local and need no
+  message).
+* :class:`ReleaseDirective` -- the centralized-urgency signal with which
+  SLURM's server induces non-urgent clients to release power down to their
+  initial cap (§4.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
+
+_MESSAGE_COUNTER = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """A process-unique, monotonically increasing message id."""
+    return next(_MESSAGE_COUNTER)
+
+
+class Addr(NamedTuple):
+    """A network endpoint: a (node, port) pair.
+
+    A node hosts several logical endpoints -- e.g. a Penelope node runs a
+    local decider and a power pool, each with its own inbox -- so messages
+    are addressed to ``Addr(node_id, port_name)``.
+    """
+
+    node: int
+    port: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.node}:{self.port}"
+
+
+#: Conventional port names.
+PORT_DECIDER = "decider"
+PORT_POOL = "pool"
+PORT_SERVER = "server"
+
+
+@dataclass
+class Message:
+    """Base class for all network messages.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint addresses (:class:`Addr`).
+    send_time:
+        Simulated time at which the message entered the network, filled in
+        by :meth:`repro.net.network.Network.send`.
+    msg_id:
+        Unique id, used to correlate requests and replies.
+    """
+
+    src: Addr
+    dst: Addr
+    msg_id: int = field(default_factory=next_message_id)
+    send_time: float = float("nan")
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class PowerRequest(Message):
+    """Ask ``dst`` for power.
+
+    ``urgent`` requests bypass the pool's transaction-size limit and carry
+    ``alpha`` -- the wattage needed for the requester to return to its
+    initial cap.
+    """
+
+    urgent: bool = False
+    alpha: float = 0.0
+    #: The requester's decider-iteration index, for diagnostics.
+    iteration: int = -1
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha!r}")
+        if not self.urgent and self.alpha != 0.0:
+            raise ValueError("alpha is only meaningful on urgent requests")
+
+
+@dataclass
+class PowerGrant(Message):
+    """Reply to a :class:`PowerRequest` carrying ``delta`` watts."""
+
+    delta: float = 0.0
+    reply_to: Optional[int] = None
+    #: True if the grant answers an urgent request (diagnostics only).
+    urgent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ValueError(f"delta must be non-negative, got {self.delta!r}")
+
+
+@dataclass
+class ExcessReport(Message):
+    """Deposit ``delta`` watts of freed power with ``dst`` (SLURM server)."""
+
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError(f"excess must be positive, got {self.delta!r}")
+
+
+@dataclass
+class ReleaseDirective(Message):
+    """Centralized urgency: server tells ``dst`` to fall back to its
+    initial cap and surrender the excess."""
+
+    #: Id of the urgent node on whose behalf the directive was issued
+    #: (diagnostics only).
+    on_behalf_of: int = -1
+
+
+__all__ = [
+    "Addr",
+    "ExcessReport",
+    "Message",
+    "PORT_DECIDER",
+    "PORT_POOL",
+    "PORT_SERVER",
+    "PowerGrant",
+    "PowerRequest",
+    "ReleaseDirective",
+    "next_message_id",
+]

@@ -1,0 +1,145 @@
+"""Message delivery with latency, failures, partitions and drop accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, Set
+
+import numpy as np
+
+from repro.net.messages import Addr, Message
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.events import EventBase
+from repro.sim.resources import Store
+
+
+@dataclass
+class NetworkStats:
+    """Counters exposed for tests and the scaling analysis."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_dead: int = 0
+    dropped_partition: int = 0
+    dropped_overflow: int = 0
+    dropped_unattached: int = 0
+    dropped_loss: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        return (
+            self.dropped_dead
+            + self.dropped_partition
+            + self.dropped_overflow
+            + self.dropped_unattached
+            + self.dropped_loss
+        )
+
+
+class Network:
+    """Connects node inboxes and delivers :class:`Message` objects.
+
+    Each participating node registers a bounded :class:`~repro.sim.resources.Store`
+    as its inbox.  ``send`` samples a latency, then delivers the message into
+    the destination inbox -- unless the source or destination is dead, the
+    pair is partitioned, or the inbox is full, in which case the message is
+    dropped and the reason counted.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        rng: np.random.Generator,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if not (0.0 <= loss_probability < 1.0):
+            raise ValueError(f"loss_probability out of [0, 1): {loss_probability!r}")
+        self.engine = engine
+        self.topology = topology
+        self._rng = rng
+        self._inboxes: Dict[Addr, Store] = {}
+        self._dead: Set[int] = set()
+        #: Probability of any message being lost in flight (lossy fabric,
+        #: a faulty-environment axis beyond node crashes and partitions).
+        self.loss_probability = loss_probability
+        self.stats = NetworkStats()
+
+    # -- membership ------------------------------------------------------
+
+    def attach(self, addr: Addr, inbox: Store) -> None:
+        """Register ``inbox`` as the delivery target for endpoint ``addr``."""
+        if not self.topology.contains(addr.node):
+            raise ValueError(f"node id {addr.node!r} outside topology")
+        if addr in self._inboxes:
+            raise ValueError(f"endpoint {addr!s} already attached")
+        self._inboxes[addr] = inbox
+
+    def detach(self, addr: Addr) -> None:
+        self._inboxes.pop(addr, None)
+
+    def inbox_of(self, addr: Addr) -> Optional[Store]:
+        return self._inboxes.get(addr)
+
+    # -- failure bookkeeping ------------------------------------------------
+
+    def mark_dead(self, node_id: int) -> None:
+        """Stop delivering to and from ``node_id`` (node crash)."""
+        self._dead.add(node_id)
+
+    def mark_alive(self, node_id: int) -> None:
+        self._dead.discard(node_id)
+
+    def is_dead(self, node_id: int) -> bool:
+        return node_id in self._dead
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Inject ``message``; delivery happens after a latency delay.
+
+        Dropping is silent from the sender's perspective, exactly like UDP:
+        the protocols above recover via response timeouts.
+        """
+        self.stats.sent += 1
+        kind = message.kind
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        message.send_time = self.engine.now
+
+        if message.src.node in self._dead:
+            self.stats.dropped_dead += 1
+            return
+        if self.loss_probability > 0.0 and float(
+            self._rng.random()
+        ) < self.loss_probability:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.topology.latency.sample(
+            message.src.node, message.dst.node, self._rng
+        )
+        self.engine.process(
+            self._deliver_later(message, delay), name=f"deliver#{message.msg_id}"
+        )
+
+    def _deliver_later(
+        self, message: Message, delay: float
+    ) -> Generator[EventBase, Any, None]:
+        yield self.engine.timeout(delay)
+        # Conditions are evaluated at *arrival* time: a destination that died
+        # in flight still loses the message.
+        if message.dst.node in self._dead:
+            self.stats.dropped_dead += 1
+            return
+        if not self.topology.reachable(message.src.node, message.dst.node):
+            self.stats.dropped_partition += 1
+            return
+        inbox = self._inboxes.get(message.dst)
+        if inbox is None:
+            self.stats.dropped_unattached += 1
+            return
+        if inbox.try_put(message):
+            self.stats.delivered += 1
+        else:
+            self.stats.dropped_overflow += 1

@@ -1,0 +1,40 @@
+"""Power-capping substrate: a simulated RAPL interface.
+
+The paper uses Intel RAPL to read power and enforce node-level powercaps,
+and notes (§3.3) that Penelope "only requires an interface through which
+power can be read and node-level powercaps can be set".  This subpackage is
+that interface, implemented against the simulation kernel with the
+properties protocols are sensitive to:
+
+* **Enforcement lag** -- a new cap takes effect after a convergence delay
+  (RAPL converges on average in under 0.5 s, per the citation in §4.5).
+* **Windowed readings** -- ``read_power()`` returns the *average* power
+  dissipated since the previous read, exactly what Algorithm 1 consumes.
+* **Sensor noise** -- multiplicative noise on readings.
+* **Safe ranges** -- caps are clamped to the domain's safe [min, max]
+  window, the second constraint of §2.1.
+"""
+
+from repro.power.domain import PowerDomainSpec, SKYLAKE_6126_NODE
+from repro.power.meter import EnergyMeter
+from repro.power.rapl import PowerCapInterface, SimulatedRapl
+from repro.power.sockets import (
+    consumed_with_sockets,
+    socket_demands_w,
+    speed_with_sockets,
+    split_cap_w,
+)
+from repro.power.trace_source import TracePowerSource
+
+__all__ = [
+    "EnergyMeter",
+    "PowerCapInterface",
+    "PowerDomainSpec",
+    "SKYLAKE_6126_NODE",
+    "SimulatedRapl",
+    "TracePowerSource",
+    "consumed_with_sockets",
+    "socket_demands_w",
+    "speed_with_sockets",
+    "split_cap_w",
+]

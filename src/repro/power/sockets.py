@@ -1,0 +1,122 @@
+"""Per-socket cap splitting within a node-level power domain.
+
+The paper's testbed nodes are dual-socket machines and RAPL enforces caps
+per package; the managers reason at node level (§2.1) and something must
+budget a node cap across its sockets.  Two policies:
+
+* ``"even"`` -- each socket gets ``cap / sockets``.  Simple, and exactly
+  right for balanced workloads.
+* ``"proportional"`` -- the node cap is water-filled across sockets in
+  proportion to their current demand (above the per-socket idle floor),
+  so an imbalanced workload is not throttled by its hottest socket while
+  the cooler one has headroom to spare.
+
+With NUMA-imbalanced phases the difference is real: lockstep parallel
+code runs at the speed of its *slowest* socket, so an even split wastes
+exactly the headroom the cool socket cannot use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.power.domain import PowerDomainSpec
+from repro.workloads.performance import SPEED_FLOOR, speed_under_cap
+
+SPLIT_POLICIES = ("even", "proportional")
+
+
+def split_cap_w(
+    cap_w: float,
+    socket_demands_w: Sequence[float],
+    spec: PowerDomainSpec,
+    policy: str = "even",
+) -> List[float]:
+    """Budget a node-level cap across sockets.
+
+    Every socket receives at least its idle floor (a package cannot be
+    capped below it anyway); the remainder is split per ``policy``.  The
+    returned caps sum to ``max(cap_w, total idle)``.
+    """
+    if policy not in SPLIT_POLICIES:
+        raise ValueError(f"unknown split policy {policy!r}")
+    n = spec.sockets
+    if len(socket_demands_w) != n:
+        raise ValueError(
+            f"expected {n} socket demands, got {len(socket_demands_w)}"
+        )
+    idle = spec.idle_w_per_socket
+    distributable = max(0.0, cap_w - n * idle)
+    if policy == "even":
+        share = distributable / n
+        return [idle + share] * n
+    # Proportional: weight by demand headroom above idle.
+    weights = [max(0.0, demand - idle) for demand in socket_demands_w]
+    total = sum(weights)
+    if total <= 0.0:
+        share = distributable / n
+        return [idle + share] * n
+    return [idle + distributable * weight / total for weight in weights]
+
+
+def socket_demands_w(
+    demand_w_per_socket: float, imbalance: float, spec: PowerDomainSpec
+) -> List[float]:
+    """Per-socket demand for a phase with NUMA ``imbalance``.
+
+    ``imbalance`` in [0, 1): socket 0 draws ``demand * (1 + imbalance)``,
+    the last socket ``demand * (1 - imbalance)`` (linear ramp across any
+    intermediate sockets).  0 is the balanced default.  Each socket's
+    demand is clipped into its physical range.
+    """
+    if not (0.0 <= imbalance < 1.0):
+        raise ValueError(f"imbalance out of [0, 1): {imbalance!r}")
+    n = spec.sockets
+    if n == 1:
+        offsets = [0.0]
+    else:
+        offsets = [imbalance * (1.0 - 2.0 * i / (n - 1)) for i in range(n)]
+    return [
+        min(
+            max(demand_w_per_socket * (1.0 + offset), spec.idle_w_per_socket),
+            spec.max_cap_w_per_socket,
+        )
+        for offset in offsets
+    ]
+
+
+def speed_with_sockets(
+    cap_w: float,
+    socket_demands: Sequence[float],
+    spec: PowerDomainSpec,
+    beta: float,
+    policy: str = "even",
+) -> float:
+    """Execution speed of a lockstep parallel phase under per-socket caps.
+
+    Each socket runs at its own throttled speed; tightly coupled threads
+    advance at the *minimum* across sockets.
+    """
+    caps = split_cap_w(cap_w, socket_demands, spec, policy=policy)
+    idle = spec.idle_w_per_socket
+    speed = 1.0
+    for socket_cap, demand in zip(caps, socket_demands):
+        speed = min(
+            speed, speed_under_cap(socket_cap, demand, idle, beta, floor=SPEED_FLOOR)
+        )
+    return speed
+
+
+def consumed_with_sockets(
+    cap_w: float,
+    socket_demands: Sequence[float],
+    spec: PowerDomainSpec,
+    policy: str = "even",
+) -> float:
+    """Node draw: per-socket ``clamp(demand, idle, cap)`` summed."""
+    caps = split_cap_w(cap_w, socket_demands, spec, policy=policy)
+    idle = spec.idle_w_per_socket
+    return sum(
+        max(idle, min(demand, socket_cap))
+        for socket_cap, demand in zip(caps, socket_demands)
+    )

@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is a small, self-contained, simpy-like discrete-event
+simulation core.  It provides:
+
+* :class:`~repro.sim.engine.Engine` -- the event loop and simulated clock,
+* generator-based processes (:class:`~repro.sim.process.Process`) with
+  interrupt support,
+* waitable events and composite conditions
+  (:mod:`repro.sim.events`),
+* synchronization / queueing primitives used to model locks and bounded
+  message queues (:mod:`repro.sim.resources`),
+* named, reproducibly-seeded random streams (:mod:`repro.sim.rng`).
+
+Everything in the reproduction -- the Penelope protocol, the centralized
+SLURM-style manager, the network and the RAPL stand-in -- runs on top of
+this kernel, which makes every experiment deterministic given a seed.
+"""
+
+from repro.sim.engine import Engine, SimulationError, StopSimulation
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventBase,
+    Timeout,
+)
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Gate, Lock, Store, StoreFull
+from repro.sim.rng import RngRegistry, stable_name_hash
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "EventBase",
+    "Gate",
+    "Interrupt",
+    "Lock",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "StoreFull",
+    "Timeout",
+    "stable_name_hash",
+]

@@ -1,0 +1,22 @@
+"""Helper to stop a process regardless of its lifecycle stage."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.process import Process
+
+
+def stop_process(process: Process, cause: Any = "stopped") -> None:
+    """Stop ``process`` now: cancel if not yet started, interrupt otherwise.
+
+    A no-op for processes that already finished.  Daemon ``stop()`` paths
+    use this so a shutdown scheduled at t=0 (before the first engine step)
+    works the same as one mid-run.
+    """
+    if not process.is_alive:
+        return
+    if process.is_initializing:
+        process.cancel()
+    else:
+        process.interrupt(cause)

@@ -1,0 +1,199 @@
+"""The simulation event loop and clock.
+
+The engine owns a priority queue of triggered events keyed by
+``(time, priority, sequence)``.  The sequence number makes simultaneous
+events process in trigger order, which (together with seeded RNG streams)
+makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, List, Optional, Tuple, Union
+
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    EventBase,
+    Timeout,
+)
+from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """An unhandled event failure surfaced at the top of the event loop."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that stops :meth:`Engine.run`."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+#: Queue entries are (time, priority, sequence, event).
+_QueueItem = Tuple[float, int, int, EventBase]
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Typical usage::
+
+        engine = Engine()
+
+        def worker(engine):
+            yield engine.timeout(1.0)
+            return "done"
+
+        proc = engine.process(worker(engine))
+        engine.run()
+        assert engine.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[_QueueItem] = []
+        self._sequence = count()
+        self._active_process: Optional[Process] = None
+        #: Monotone counter of processed events (useful for cost accounting
+        #: and loop-progress assertions in tests).
+        self.processed_events = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if the engine is inside one."""
+        return self._active_process
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create an untriggered :class:`~repro.sim.events.Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`~repro.sim.events.Timeout` firing after ``delay``."""
+        return Timeout(self, delay, value=value)
+
+    def process(
+        self,
+        generator: Generator[EventBase, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new :class:`~repro.sim.process.Process` from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: List[EventBase]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[EventBase]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(
+        self, event: EventBase, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Put a triggered event on the processing queue."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._sequence), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise IndexError("step() on an empty event queue")
+        when, _, _, event = heapq.heappop(self._queue)
+        assert when >= self._now, "event queue went backwards"
+        self._now = when
+        self.processed_events += 1
+        event._process()
+        if not event._ok and not event._defused:
+            exc = event.value
+            raise SimulationError(
+                f"unhandled failure of {event!r}: {exc!r}"
+            ) from exc
+
+    def run(self, until: Union[None, float, int, EventBase] = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` -- run until the event queue drains.
+        * ``until=<number>`` -- run until simulated time reaches that value
+          (the clock is advanced to exactly ``until`` even if no event falls
+          on it).
+        * ``until=<event>`` -- run until that event is processed and return
+          its value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, EventBase):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed.
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+            stop_event.callbacks.append(_stop_callback)
+            try:
+                while True:
+                    self.step()
+            except StopSimulation as stop:
+                event = stop.value
+                if not event.ok:
+                    raise event.value
+                return event.value
+            except IndexError:
+                raise SimulationError(
+                    f"event queue drained before {stop_event!r} fired"
+                ) from None
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"until={horizon!r} lies in the past (now={self._now!r})"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+
+def _stop_callback(event: EventBase) -> None:
+    raise StopSimulation(event)
+
+
+def run_callable_at(
+    engine: Engine, when: float, func: Callable[[], Any], name: Optional[str] = None
+) -> Process:
+    """Schedule a plain callable to run at absolute simulated time ``when``.
+
+    Convenience used by fault injectors and experiment scripts.
+    """
+    if when < engine.now:
+        raise ValueError(f"when={when!r} is in the past (now={engine.now!r})")
+
+    def _runner() -> Generator[EventBase, Any, Any]:
+        yield engine.timeout(when - engine.now)
+        func()
+
+    return engine.process(_runner(), name=name or f"at[{when:g}]")

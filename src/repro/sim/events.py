@@ -1,0 +1,260 @@
+"""Waitable events for the simulation kernel.
+
+The design follows the classic simpy model: an *event* moves through three
+states -- untriggered, triggered (scheduled on the engine queue with a value
+or an exception), and processed (its callbacks have run).  Processes wait on
+events by ``yield``-ing them; the engine resumes the process when the event
+is processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Engine
+
+#: Scheduling priorities.  Lower sorts earlier at equal timestamps.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+#: Sentinel distinguishing "no value yet" from ``None``.
+_PENDING = object()
+
+
+class EventBase:
+    """A one-shot waitable occurrence on the simulation timeline.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.sim.engine.Engine` this event belongs to.
+    name:
+        Optional human-readable label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("engine", "name", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, engine: "Engine", name: Optional[str] = None) -> None:
+        self.engine = engine
+        self.name = name
+        #: Callbacks invoked (with this event) when the event is processed.
+        #: ``None`` once processed.
+        self.callbacks: Optional[List[Callable[["EventBase"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        # When an event fails and nobody is waiting on it, the engine raises
+        # the exception at the top level unless the failure was "defused" by
+        # being delivered into a process.
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled for processing."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "EventBase":
+        """Trigger the event successfully with ``value``.
+
+        ``delay`` defers *processing* (callback execution) by that much
+        simulated time; the default processes the event at the current
+        instant (after already-queued events).
+        """
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "EventBase":
+        """Trigger the event as failed with ``exception``.
+
+        A failed event delivered to a waiting process re-raises the
+        exception inside that process.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.engine._schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+        return self
+
+    # -- engine interface ------------------------------------------------
+
+    def _process(self) -> None:
+        """Invoke callbacks.  Called exactly once by the engine."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.__class__.__name__
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{label} {state} at {hex(id(self))}>"
+
+    # -- composition -----------------------------------------------------
+
+    def __or__(self, other: "EventBase") -> "AnyOf":
+        return AnyOf(self.engine, [self, other])
+
+    def __and__(self, other: "EventBase") -> "AllOf":
+        return AllOf(self.engine, [self, other])
+
+
+class Event(EventBase):
+    """A plain, manually-triggered event (rendezvous point)."""
+
+    __slots__ = ()
+
+
+class Timeout(EventBase):
+    """An event that fires automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        engine: "Engine",
+        delay: float,
+        value: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(engine, name=name)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+
+
+class ConditionValue:
+    """Mapping-like container with the values of a condition's sub-events.
+
+    The contents are a *snapshot* taken at the instant the condition
+    triggered: sub-events that fire later do not appear.  Declaration
+    order is preserved.
+    """
+
+    __slots__ = ("_events", "_triggered")
+
+    def __init__(self, events: List["EventBase"]) -> None:
+        self._events = events
+        # Snapshot of the sub-events already *processed* when the condition
+        # fired.  ("Triggered" is not enough: a Timeout carries its value
+        # from construction but has not occurred until processed.)
+        self._triggered = [e for e in events if e.processed and e.ok]
+
+    def __getitem__(self, event: "EventBase") -> Any:
+        if event not in self._triggered:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: "EventBase") -> bool:
+        return event in self._triggered
+
+    def __len__(self) -> int:
+        return len(self._triggered)
+
+    def events(self) -> List["EventBase"]:
+        """The sub-events that had triggered, in declaration order."""
+        return list(self._triggered)
+
+    def values(self) -> List[Any]:
+        return [e.value for e in self._triggered]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.values()!r}>"
+
+
+class _Condition(EventBase):
+    """Common machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_needed")
+
+    def __init__(self, engine: "Engine", events: List[EventBase], needed: int) -> None:
+        super().__init__(engine)
+        self._events = list(events)
+        for event in self._events:
+            if event.engine is not engine:
+                raise ValueError("all condition sub-events must share one engine")
+        self._needed = needed
+        if needed <= 0:
+            # Trivially satisfied (e.g. AllOf([])).
+            self.succeed(ConditionValue(self._events))
+            return
+        pending = 0
+        for event in self._events:
+            if event.processed:
+                self._check(event, count=False)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+                pending += 1
+        # Account for already-processed successes.
+        done = sum(1 for e in self._events if e.processed and e.ok)
+        if not self.triggered and done >= self._needed:
+            self.succeed(ConditionValue(self._events))
+        if not self.triggered and pending == 0 and done < self._needed:
+            raise RuntimeError("condition can never be satisfied")
+
+    def _check(self, event: EventBase, count: bool = True) -> None:
+        if self.triggered:
+            # Late failures of sub-events must not be silently lost.
+            if not event.ok:
+                event._defused = True
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        done = sum(1 for e in self._events if e.processed and e.ok)
+        if done >= self._needed:
+            self.succeed(ConditionValue(self._events))
+
+
+class AnyOf(_Condition):
+    """Fires when any one of ``events`` succeeds (or any fails)."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: List[EventBase]) -> None:
+        events = list(events)
+        super().__init__(engine, events, needed=min(1, len(events)))
+
+
+class AllOf(_Condition):
+    """Fires when every one of ``events`` has succeeded (or any fails)."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: List[EventBase]) -> None:
+        events = list(events)
+        super().__init__(engine, events, needed=len(events))

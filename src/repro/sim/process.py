@@ -1,0 +1,198 @@
+"""Generator-based simulation processes with interrupt support.
+
+A process wraps a Python generator that ``yield``-s events.  Each time a
+yielded event is processed, the engine resumes the generator, sending the
+event's value in (or throwing its exception).  A process is itself an event
+that triggers when the generator finishes, so processes can wait on each
+other.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import PRIORITY_URGENT, EventBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause object passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class _Initialize(EventBase):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", process: "Process") -> None:
+        super().__init__(engine)
+        self._ok = True
+        self._value = None
+        assert self.callbacks is not None
+        self.callbacks.append(process._resume)
+        engine._schedule(self, delay=0.0, priority=PRIORITY_URGENT)
+
+
+class _Interruption(EventBase):
+    """Internal event carrying an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.engine)
+        if process.processed:
+            raise RuntimeError(f"{process!r} has already terminated")
+        if process.is_initializing:
+            raise RuntimeError(f"{process!r} has not started yet")
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        assert self.callbacks is not None
+        self.callbacks.append(self._deliver)
+        process.engine._schedule(self, delay=0.0, priority=PRIORITY_URGENT)
+
+    def _deliver(self, event: EventBase) -> None:
+        process = self.process
+        if process.processed:
+            # Terminated between scheduling and delivery: drop silently.
+            return
+        # Detach the process from whatever it was waiting on ...
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process._target = None
+        # ... and resume it with the failure.
+        process._resume(self)
+
+
+class Process(EventBase):
+    """A running simulation activity driven by a generator.
+
+    Triggers (as an event) with the generator's return value when it
+    completes, or fails with the escaping exception.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[EventBase, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(engine, name=name or getattr(generator, "__name__", None))
+        self._generator = generator
+        #: The event this process is currently waiting on (None while
+        #: executing).  Before the first resume it is the initialize event.
+        self._target: Optional[EventBase] = None
+        self._target = _Initialize(engine, self)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the generator has finished."""
+        return not self.triggered
+
+    @property
+    def is_initializing(self) -> bool:
+        """True before the generator's first resume."""
+        if self.triggered:
+            return False
+        return inspect.getgeneratorstate(self._generator) == inspect.GEN_CREATED
+
+    @property
+    def target(self) -> Optional[EventBase]:
+        """The event the process is currently waiting on, if any."""
+        return self._target
+
+    # -- control ------------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The process is detached from whatever event it was waiting on; that
+        event remains valid and may still fire later (its value is then
+        simply not delivered to this process).
+        """
+        _Interruption(self, cause)
+
+    def cancel(self) -> None:
+        """Abort a process that has not executed its first step yet.
+
+        Complements :meth:`interrupt`, which cannot target an
+        uninitialized process (there is no frame to throw into).  The
+        generator is closed unexecuted and the process succeeds with
+        ``None``.
+        """
+        if not self.is_initializing:
+            raise RuntimeError(f"{self!r} already started; use interrupt()")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self._generator.close()
+        self.succeed(None)
+
+    # -- engine interface -----------------------------------------------------
+
+    def _resume(self, event: EventBase) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self._target = None
+        self.engine._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The failure is being delivered: it will surface inside
+                    # the process, so it no longer needs top-level handling.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self.engine._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.engine._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, EventBase):
+                self.engine._active_process = None
+                error = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self.fail(error)
+                return
+            if next_event.engine is not self.engine:
+                self.engine._active_process = None
+                self.fail(RuntimeError("yielded event belongs to a different engine"))
+                return
+
+            if next_event.callbacks is not None:
+                # Still pending (or triggered but unprocessed): wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: loop and deliver its value immediately.
+            event = next_event
+        self.engine._active_process = None

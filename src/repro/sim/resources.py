@@ -1,0 +1,219 @@
+"""Synchronization and queueing primitives built on the event kernel.
+
+Three primitives cover every coordination need of the reproduction:
+
+* :class:`Lock` -- the mutual exclusion guarding each power pool (§3.3 of the
+  paper: "*Penelope* guarantees this through the use of a simple lock").
+* :class:`Store` -- a bounded FIFO of items.  Message inboxes are Stores;
+  the bounded capacity plus :meth:`Store.try_put` gives the packet-drop
+  semantics that drive the paper's scaling results.
+* :class:`Gate` -- a broadcast condition that many processes can wait on and
+  that can be re-armed (used for shutdown/fault signalling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional
+
+from repro.sim.events import Event, EventBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class StoreFull(Exception):
+    """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
+
+
+class Lock:
+    """A FIFO mutual-exclusion lock.
+
+    ``acquire()`` returns an event to ``yield`` on; ``release()`` hands the
+    lock to the next waiter.  The ``locked`` property and ``holder`` are
+    exposed for assertions in tests.
+    """
+
+    def __init__(self, engine: "Engine", name: Optional[str] = None) -> None:
+        self.engine = engine
+        self.name = name or "lock"
+        self._waiters: Deque[Event] = deque()
+        self._locked = False
+        #: Diagnostic: how many times the lock has been acquired.
+        self.acquisitions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> EventBase:
+        """Request the lock; the returned event fires when it is granted."""
+        event = Event(self.engine, name=f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            self.acquisitions += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release the lock, granting it to the oldest waiter if any."""
+        if not self._locked:
+            raise RuntimeError(f"release of unheld {self.name}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self.acquisitions += 1
+            waiter.succeed(self)
+        else:
+            self._locked = False
+
+    def held(self) -> Generator[EventBase, Any, Any]:
+        """Generator helper: ``yield from lock.held()`` acquires the lock.
+
+        The caller must still call :meth:`release` when done.
+        """
+        yield self.acquire()
+
+
+class Store:
+    """A bounded FIFO store of items.
+
+    * :meth:`put_nowait` -- append, raising :class:`StoreFull` at capacity.
+    * :meth:`try_put` -- append, returning False at capacity (packet drop).
+    * :meth:`get` -- returns an event that fires with the oldest item as
+      soon as one is available.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        capacity: float = float("inf"),
+        name: Optional[str] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        #: Counters for observability (drop rate is central to Fig. 5/7).
+        self.total_put = 0
+        self.total_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def put_nowait(self, item: Any) -> None:
+        """Insert ``item``; raise :class:`StoreFull` if at capacity."""
+        if not self.try_put(item):
+            raise StoreFull(f"{self.name} is at capacity {self.capacity}")
+
+    def try_put(self, item: Any) -> bool:
+        """Insert ``item`` if capacity allows.  Returns success.
+
+        A failed ``try_put`` counts as a dropped packet.
+        """
+        # A waiting getter means the store is logically empty: hand over
+        # directly (capacity cannot be exceeded in that case).
+        if self._getters:
+            getter = self._getters.popleft()
+            self.total_put += 1
+            getter.succeed(item)
+            return True
+        if len(self._items) >= self.capacity:
+            self.total_dropped += 1
+            return False
+        self._items.append(item)
+        self.total_put += 1
+        return True
+
+    def get(self) -> EventBase:
+        """Return an event yielding the oldest item once available."""
+        event = Event(self.engine, name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Any:
+        """Pop the oldest item immediately; raise ``IndexError`` if empty."""
+        return self._items.popleft()
+
+    def cancel_get(self, event: EventBase) -> bool:
+        """Withdraw a pending getter (e.g. its owner timed out waiting).
+
+        Returns True if the getter was still registered.  Without this, an
+        abandoned getter would silently consume (and lose) the next item.
+        """
+        try:
+            self._getters.remove(event)  # type: ignore[arg-type]
+            return True
+        except ValueError:
+            return False
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items (used on node failure)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def cancel_getters(self, exception: BaseException) -> int:
+        """Fail all waiting getters (e.g. the node they run on died)."""
+        failed = 0
+        while self._getters:
+            getter = self._getters.popleft()
+            getter.fail(exception)
+            failed += 1
+        return failed
+
+
+class Gate:
+    """A broadcast, re-armable condition.
+
+    ``wait()`` returns an event shared by all current waiters; ``open()``
+    releases them all at once.  After ``reset()`` subsequent waiters block
+    again.  Used to broadcast node-failure and shutdown signals.
+    """
+
+    def __init__(self, engine: "Engine", name: Optional[str] = None) -> None:
+        self.engine = engine
+        self.name = name or "gate"
+        self._event: Optional[Event] = None
+        self._open = False
+        self._open_value: Any = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> EventBase:
+        """Event firing when the gate opens (immediately if already open)."""
+        if self._open:
+            event = Event(self.engine, name=f"{self.name}.wait")
+            event.succeed(self._open_value)
+            return event
+        if self._event is None:
+            self._event = Event(self.engine, name=f"{self.name}.broadcast")
+        return self._event
+
+    def open(self, value: Any = None) -> None:
+        """Open the gate, waking every waiter."""
+        if self._open:
+            return
+        self._open = True
+        self._open_value = value
+        if self._event is not None:
+            self._event.succeed(value)
+            self._event = None
+
+    def reset(self) -> None:
+        """Close the gate again; future waiters block until the next open."""
+        self._open = False
+        self._open_value = None

@@ -1,0 +1,57 @@
+"""Application workload models.
+
+The paper evaluates on the NAS Parallel Benchmarks 3.4, class D (nine
+applications after omitting IS: BT, CG, EP, FT, LU, MG, SP, UA, DC).  We
+cannot run the real kernels, so this subpackage provides *phase-structured
+power/performance models* of the same nine applications: each app is a
+sequence of phases with a power demand (W per socket) and an amount of work
+(seconds at full speed), plus a concavity parameter describing how strongly
+throttling slows that phase down.
+
+What matters for reproducing the evaluation is the *diversity* of power
+behaviour over time -- compute-bound vs memory-bound vs I/O-bound phases,
+and one application finishing before its partner -- not the numerical
+kernels themselves (see DESIGN.md §2).
+"""
+
+from repro.workloads.apps import (
+    APP_NAMES,
+    AppModel,
+    build_app,
+    get_app_model,
+)
+from repro.workloads.generator import (
+    PairAssignment,
+    assign_pair_to_cluster,
+    unique_pairs,
+)
+from repro.workloads.io import (
+    load_trace_csv,
+    load_workload_json,
+    save_trace_csv,
+    save_workload_json,
+)
+from repro.workloads.performance import consumed_power_w, speed_under_cap
+from repro.workloads.phases import Phase, Workload
+from repro.workloads.traces import PowerTrace, step_release_trace, trace_from_workload
+
+__all__ = [
+    "APP_NAMES",
+    "AppModel",
+    "PairAssignment",
+    "Phase",
+    "PowerTrace",
+    "Workload",
+    "assign_pair_to_cluster",
+    "build_app",
+    "consumed_power_w",
+    "get_app_model",
+    "load_trace_csv",
+    "load_workload_json",
+    "save_trace_csv",
+    "save_workload_json",
+    "speed_under_cap",
+    "step_release_trace",
+    "trace_from_workload",
+    "unique_pairs",
+]

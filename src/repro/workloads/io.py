@@ -1,0 +1,107 @@
+"""Persistence for workloads and power traces.
+
+The paper's scaling methodology runs deciders against *recorded* power
+profiles.  These helpers give the reproduction the same I/O path: traces
+round-trip through CSV (two columns, seconds and watts) and workloads
+through JSON, so profiles captured on real hardware -- or exported from
+one simulation -- can be replayed in another.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.workloads.phases import Phase, Workload
+from repro.workloads.traces import PowerTrace
+
+PathLike = Union[str, Path]
+
+_TRACE_HEADER = ("time_s", "demand_w")
+
+
+def save_trace_csv(trace: PowerTrace, path: PathLike) -> None:
+    """Write a trace as CSV: header plus one row per breakpoint."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TRACE_HEADER)
+        for time, watts in zip(trace.times, trace.watts):
+            writer.writerow([repr(float(time)), repr(float(watts))])
+
+
+def load_trace_csv(path: PathLike) -> PowerTrace:
+    """Read a trace written by :func:`save_trace_csv` (or any two-column
+    seconds/watts CSV with a header)."""
+    times = []
+    watts = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty trace file")
+        if len(header) < 2:
+            raise ValueError(f"{path}: expected two columns, got {header!r}")
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                times.append(float(row[0]))
+                watts.append(float(row[1]))
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"{path}:{row_number}: bad row {row!r}") from exc
+    if not times:
+        raise ValueError(f"{path}: no data rows")
+    return PowerTrace(times=np.array(times), watts=np.array(watts))
+
+
+# -- workloads ----------------------------------------------------------------
+
+_SCHEMA_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """JSON-ready representation of a workload."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "app": workload.app,
+        "phases": [
+            {
+                "name": phase.name,
+                "work_s": phase.work_s,
+                "demand_w_per_socket": phase.demand_w_per_socket,
+                "beta": phase.beta,
+            }
+            for phase in workload.phases
+        ],
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> Workload:
+    """Inverse of :func:`workload_to_dict`, with schema validation."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported workload schema: {data.get('schema')!r}")
+    try:
+        phases = tuple(
+            Phase(
+                name=str(entry["name"]),
+                work_s=float(entry["work_s"]),
+                demand_w_per_socket=float(entry["demand_w_per_socket"]),
+                beta=float(entry["beta"]),
+            )
+            for entry in data["phases"]
+        )
+        return Workload(app=str(data["app"]), phases=phases)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed workload document: {exc}") from exc
+
+
+def save_workload_json(workload: Workload, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(workload_to_dict(workload), indent=2))
+
+
+def load_workload_json(path: PathLike) -> Workload:
+    return workload_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,71 @@
+"""The power-to-performance model.
+
+§2.1 of the paper: "powercaps have a proportional, albeit non-linear
+relationship to application performance".  We use the standard first-order
+model: subtract the idle floor, normalize by the phase's unthrottled
+demand, and apply a concave exponent::
+
+    speed(cap) = ((cap - idle) / (demand - idle)) ** beta      for cap < demand
+    speed(cap) = 1                                             for cap >= demand
+
+``beta`` close to 1 models compute-bound phases (performance tracks power
+almost linearly); small ``beta`` models memory-/I/O-bound phases whose
+performance barely reacts to capping.  A speed floor keeps heavily capped
+nodes making (slow) progress, matching real hardware, which never stops
+retiring instructions at the minimum RAPL cap.
+"""
+
+from __future__ import annotations
+
+#: Minimum relative speed of a maximally throttled phase.
+SPEED_FLOOR = 0.05
+
+
+def speed_under_cap(
+    cap_w: float,
+    demand_w: float,
+    idle_w: float,
+    beta: float,
+    floor: float = SPEED_FLOOR,
+) -> float:
+    """Relative execution speed (1.0 = unthrottled) under ``cap_w``.
+
+    Parameters are node-level watts.  ``demand_w`` is the phase's
+    unthrottled draw; when the cap exceeds it the phase runs at full
+    speed.  Values are clamped so the result is always in ``[floor, 1]``.
+    """
+    if demand_w <= idle_w:
+        return 1.0  # effectively idle phase: capping cannot slow it
+    if cap_w >= demand_w:
+        return 1.0
+    headroom = (cap_w - idle_w) / (demand_w - idle_w)
+    if headroom <= 0.0:
+        return floor
+    return max(floor, min(1.0, headroom**beta))
+
+
+def consumed_power_w(cap_w: float, demand_w: float, idle_w: float) -> float:
+    """Actual node draw given an effective cap and the phase demand.
+
+    RAPL-style enforcement: the node draws what the phase demands, unless
+    the cap bites; it can never draw less than the idle floor.
+    """
+    return max(idle_w, min(demand_w, cap_w))
+
+
+def runtime_at_constant_cap(
+    workload,  # repro.workloads.phases.Workload
+    cap_w: float,
+    spec,  # repro.power.domain.PowerDomainSpec
+) -> float:
+    """Closed-form runtime of ``workload`` under a constant node cap.
+
+    Used by tests and the Fair baseline's analytic cross-checks; the
+    discrete-event executor must agree with this for constant caps.
+    """
+    total = 0.0
+    for phase in workload.phases:
+        demand = phase.demand_w(spec)
+        speed = speed_under_cap(cap_w, demand, spec.idle_w, phase.beta)
+        total += phase.work_s / speed
+    return total

@@ -1,0 +1,83 @@
+"""Unit tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    geometric_mean,
+    normalized_performance,
+    summarize,
+)
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_classic_example(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_below_arithmetic_mean(self):
+        values = [0.5, 1.0, 2.0, 4.0]
+        assert geometric_mean(values) < float(np.mean(values))
+
+    def test_scale_invariance(self):
+        values = [1.1, 0.9, 1.3]
+        assert geometric_mean([2 * v for v in values]) == pytest.approx(
+            2 * geometric_mean(values)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestNormalizedPerformance:
+    def test_faster_than_fair_above_one(self):
+        assert normalized_performance(50.0, 100.0) == pytest.approx(2.0)
+
+    def test_equal_is_one(self):
+        assert normalized_performance(80.0, 80.0) == 1.0
+
+    def test_slower_than_fair_below_one(self):
+        assert normalized_performance(100.0, 80.0) == pytest.approx(0.8)
+
+    def test_invalid_runtimes(self):
+        with pytest.raises(ValueError):
+            normalized_performance(0.0, 1.0)
+        with pytest.raises(ValueError):
+            normalized_performance(1.0, -1.0)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0 and summary.maximum == 5.0
+        assert summary.p25 == 2.0 and summary.p75 == 4.0
+
+    def test_std(self):
+        summary = summarize([2.0, 2.0, 2.0])
+        assert summary.std == 0.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.mean == summary.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row_formats(self):
+        row = summarize([1.0, 2.0]).as_row()
+        assert "mean=1.5" in row and "n=" in row

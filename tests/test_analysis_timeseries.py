@@ -1,0 +1,90 @@
+"""Unit tests for the time-series helpers behind redistribution time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    cumulative_arrivals,
+    downsample_curve,
+    staircase_value_at,
+    time_to_fraction,
+)
+
+
+class TestCumulativeArrivals:
+    def test_empty(self):
+        times, cumulative = cumulative_arrivals([])
+        assert times.size == 0 and cumulative.size == 0
+
+    def test_sorted_accumulation(self):
+        times, cumulative = cumulative_arrivals([(2.0, 5.0), (1.0, 3.0)])
+        assert list(times) == [1.0, 2.0]
+        assert list(cumulative) == [3.0, 8.0]
+
+    def test_simultaneous_events_merged(self):
+        times, cumulative = cumulative_arrivals([(1.0, 1.0), (1.0, 2.0), (2.0, 1.0)])
+        assert list(times) == [1.0, 2.0]
+        assert list(cumulative) == [3.0, 4.0]
+
+
+class TestTimeToFraction:
+    EVENTS = [(1.0, 10.0), (2.0, 10.0), (3.0, 10.0), (4.0, 10.0)]
+
+    def test_half(self):
+        assert time_to_fraction(self.EVENTS, total=40.0, fraction=0.5) == 2.0
+
+    def test_full(self):
+        assert time_to_fraction(self.EVENTS, total=40.0, fraction=1.0) == 4.0
+
+    def test_relative_to_t0(self):
+        assert time_to_fraction(self.EVENTS, 40.0, 0.5, t0=1.0) == 1.0
+
+    def test_never_reached_is_inf(self):
+        assert time_to_fraction(self.EVENTS, total=100.0, fraction=1.0) == float("inf")
+
+    def test_no_events_is_inf(self):
+        assert time_to_fraction([], total=10.0, fraction=0.5) == float("inf")
+
+    def test_fraction_on_boundary(self):
+        # Exactly 25% arrives with the first event.
+        assert time_to_fraction(self.EVENTS, 40.0, 0.25) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_to_fraction(self.EVENTS, total=0.0, fraction=0.5)
+        with pytest.raises(ValueError):
+            time_to_fraction(self.EVENTS, total=10.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            time_to_fraction(self.EVENTS, total=10.0, fraction=1.5)
+
+
+class TestStaircase:
+    def test_before_first(self):
+        times, values = np.array([1.0, 2.0]), np.array([10.0, 20.0])
+        assert staircase_value_at(times, values, 0.5, before=-1.0) == -1.0
+
+    def test_on_and_between_steps(self):
+        times, values = np.array([1.0, 2.0]), np.array([10.0, 20.0])
+        assert staircase_value_at(times, values, 1.0) == 10.0
+        assert staircase_value_at(times, values, 1.5) == 10.0
+        assert staircase_value_at(times, values, 3.0) == 20.0
+
+    def test_empty(self):
+        assert staircase_value_at(np.array([]), np.array([]), 1.0, before=5.0) == 5.0
+
+
+class TestDownsample:
+    def test_downsamples_to_n_points(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        curve = downsample_curve(times, values, 3)
+        assert len(curve) == 3
+        assert curve[0] == (0.0, 1.0)
+        assert curve[-1] == (3.0, 4.0)
+
+    def test_degenerate_cases(self):
+        assert downsample_curve(np.array([]), np.array([]), 5) == []
+        curve = downsample_curve(np.array([1.0]), np.array([2.0]), 0)
+        assert curve == [(1.0, 2.0)]

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_pairs, build_parser, main
+
+
+class TestParsePairs:
+    def test_none_passthrough(self):
+        assert _parse_pairs(None) is None
+        assert _parse_pairs([]) is None
+
+    def test_parses_and_uppercases(self):
+        assert _parse_pairs(["ep:dc", "CG:LU"]) == [("EP", "DC"), ("CG", "LU")]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_pairs(["EPDC"])
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in (
+            "overhead", "nominal", "faulty", "scaling-frequency", "scaling-scale"
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_nominal_defaults_are_paper_values(self):
+        args = build_parser().parse_args(["nominal"])
+        assert args.caps == [60.0, 70.0, 80.0, 90.0, 100.0]
+        assert args.clients == 20
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_overhead_command(self, capsys):
+        exit_code = main(["overhead", "--scale", "0.1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "mean overhead" in out
+
+    def test_nominal_command_reduced(self, capsys):
+        exit_code = main(
+            [
+                "nominal",
+                "--caps", "70",
+                "--pairs", "EP:DC",
+                "--clients", "4",
+                "--scale", "0.1",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_faulty_command_reduced(self, capsys):
+        exit_code = main(
+            [
+                "faulty",
+                "--caps", "70",
+                "--pairs", "EP:DC",
+                "--clients", "4",
+                "--scale", "0.1",
+            ]
+        )
+        assert exit_code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_scaling_frequency_reduced(self, capsys):
+        exit_code = main(
+            ["scaling-frequency", "--clients", "8", "--freqs", "2", "4"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 7" in out
+
+    def test_scaling_scale_reduced(self, capsys):
+        exit_code = main(["scaling-scale", "--scales", "8", "16"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Figure 8" in out
+
+    def test_multijob_reduced(self, capsys):
+        exit_code = main(
+            ["multijob", "--clients", "4", "--scale", "0.1"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fault cost" in out
+
+    def test_allocation_reduced(self, capsys):
+        exit_code = main(
+            [
+                "allocation",
+                "--clients", "4",
+                "--scale", "0.2",
+                "--observe", "5",
+                "--managers", "fair", "penelope",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out

@@ -1,0 +1,69 @@
+"""Unit tests for fault injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.faults import FaultPlan, kill_node_at, partition_at
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def cluster():
+    engine = Engine()
+    config = ClusterConfig(n_nodes=4, system_power_budget_w=4 * 160.0)
+    return Cluster(engine, config, RngRegistry(seed=0))
+
+
+class TestKillNodeAt:
+    def test_node_dies_at_scheduled_time(self, cluster):
+        kill_node_at(cluster, 2, at_time_s=5.0)
+        cluster.engine.run(until=4.9)
+        assert cluster.node(2).alive
+        cluster.engine.run(until=5.1)
+        assert not cluster.node(2).alive
+        assert cluster.network.is_dead(2)
+
+
+class TestPartitionAt:
+    def test_partition_applies_at_time(self, cluster):
+        partition_at(cluster, [0], at_time_s=3.0)
+        cluster.engine.run(until=2.9)
+        assert cluster.topology.reachable(0, 1)
+        cluster.engine.run(until=3.1)
+        assert not cluster.topology.reachable(0, 1)
+
+    def test_partition_heals(self, cluster):
+        partition_at(cluster, [0], at_time_s=1.0, heal_after_s=2.0)
+        cluster.engine.run(until=1.5)
+        assert not cluster.topology.reachable(0, 1)
+        cluster.engine.run(until=3.5)
+        assert cluster.topology.reachable(0, 1)
+
+
+class TestFaultPlan:
+    def test_fluent_construction(self):
+        plan = FaultPlan().kill(1, 5.0).partition([0], 3.0, heal_after_s=1.0)
+        assert plan.node_kills == [(1, 5.0)]
+        assert plan.partitions == [((0,), 3.0, 1.0)]
+        assert not plan.is_empty
+
+    def test_empty_plan(self):
+        assert FaultPlan().is_empty
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().kill(0, -1.0)
+        with pytest.raises(ValueError):
+            FaultPlan().partition([0], -1.0)
+
+    def test_install_arms_all_faults(self, cluster):
+        plan = FaultPlan().kill(1, 2.0).partition([3], 4.0)
+        processes = plan.install(cluster)
+        assert len(processes) == 2
+        cluster.engine.run(until=5.0)
+        assert not cluster.node(1).alive
+        assert not cluster.topology.reachable(3, 0)

@@ -1,0 +1,113 @@
+"""Tests for the pluggable discovery strategies (random / ring / sticky)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PenelopeConfig
+from repro.core.decider import LocalDecider
+from repro.core.pool import PowerPool
+from repro.net.network import Network
+from repro.net.topology import LatencyModel, Topology
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.power.rapl import SimulatedRapl
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+def make_decider(discovery: str, peers=(1, 2, 3)):
+    engine = Engine()
+    rngs = RngRegistry(seed=5)
+    network = Network(
+        engine, Topology(5, latency=LatencyModel(sigma=0.0)), rngs.stream("net")
+    )
+    config = PenelopeConfig(stagger_start=False, discovery=discovery)
+    rapl = SimulatedRapl(
+        engine, SKYLAKE_6126_NODE, rngs.stream("rapl"), initial_cap_w=160.0,
+        enforcement_delay_s=(0.0, 0.0), reading_noise=0.0,
+    )
+    pool = PowerPool(engine, network, 0, config, rngs.stream("pool"))
+    decider = LocalDecider(
+        engine, network, 0, rapl, pool, peers=list(peers),
+        initial_cap_w=160.0, config=config, rng=rngs.stream("decider"),
+    )
+    return decider
+
+
+class TestConfigValidation:
+    def test_known_strategies_accepted(self):
+        for strategy in ("random", "ring", "sticky"):
+            PenelopeConfig(discovery=strategy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="discovery"):
+            PenelopeConfig(discovery="telepathy")
+
+
+class TestRing:
+    def test_round_robin_order(self):
+        decider = make_decider("ring")
+        picks = [decider._choose_peer() for _ in range(6)]
+        assert picks == [1, 2, 3, 1, 2, 3]
+
+    def test_ring_offset_by_node_id(self):
+        a = make_decider("ring")
+        assert a._choose_peer() == 1  # node 0 starts at index 0
+
+
+class TestRandom:
+    def test_uniform_coverage(self):
+        decider = make_decider("random")
+        picks = {decider._choose_peer() for _ in range(100)}
+        assert picks == {1, 2, 3}
+
+    def test_never_self(self):
+        decider = make_decider("random", peers=(0, 1, 2))
+        assert 0 not in decider.peers
+        picks = {decider._choose_peer() for _ in range(50)}
+        assert 0 not in picks
+
+
+class TestSticky:
+    def test_successful_peer_is_remembered(self):
+        decider = make_decider("sticky")
+        decider._note_grant_outcome(2, granted_w=5.0)
+        assert all(decider._choose_peer() == 2 for _ in range(5))
+
+    def test_dry_peer_is_forgotten(self):
+        decider = make_decider("sticky")
+        decider._note_grant_outcome(2, granted_w=5.0)
+        decider._note_grant_outcome(2, granted_w=0.0)
+        picks = {decider._choose_peer() for _ in range(100)}
+        assert picks == {1, 2, 3}  # back to uniform random
+
+    def test_zero_grant_from_other_peer_keeps_memory(self):
+        decider = make_decider("sticky")
+        decider._note_grant_outcome(2, granted_w=5.0)
+        decider._note_grant_outcome(3, granted_w=0.0)  # unrelated miss
+        assert decider._choose_peer() == 2
+
+    def test_random_mode_ignores_outcomes(self):
+        decider = make_decider("random")
+        decider._note_grant_outcome(2, granted_w=5.0)
+        assert decider._sticky_peer is None
+
+
+class TestEndToEndStrategies:
+    @pytest.mark.parametrize("discovery", ["random", "ring", "sticky"])
+    def test_all_strategies_shift_power_and_audit(self, discovery):
+        from repro.experiments.harness import RunSpec, run_single
+
+        result = run_single(
+            RunSpec(
+                "penelope",
+                ("EP", "DC"),
+                65.0,
+                n_clients=6,
+                workload_scale=0.15,
+                seed=6,
+                manager_config=PenelopeConfig(discovery=discovery),
+            )
+        )
+        assert result.recorder.total_granted_w() > 0
+        result.audit.check()

@@ -1,0 +1,182 @@
+"""Unit tests for the power pool (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PenelopeConfig
+from repro.core.pool import PowerPool, clamp_transaction
+from repro.net.messages import PORT_DECIDER, PORT_POOL, Addr, PowerGrant, PowerRequest
+from repro.net.network import Network
+from repro.net.topology import LatencyModel, Topology
+from repro.sim.resources import Store
+
+
+@pytest.fixture
+def net(engine, rngs):
+    return Network(
+        engine, Topology(4, latency=LatencyModel(sigma=0.0)), rngs.stream("net")
+    )
+
+
+@pytest.fixture
+def pool(engine, net, rngs):
+    pool = PowerPool(
+        engine, net, 1, PenelopeConfig(), rngs.stream("pool")
+    )
+    pool.start()
+    return pool
+
+
+def send_request(engine, net, pool, urgent=False, alpha=0.0, src=0):
+    """Send a request to the pool and return the grant received."""
+    inbox = net.inbox_of(Addr(src, PORT_DECIDER))
+    if inbox is None:
+        inbox = Store(engine)
+        net.attach(Addr(src, PORT_DECIDER), inbox)
+    request = PowerRequest(
+        src=Addr(src, PORT_DECIDER),
+        dst=pool.addr,
+        urgent=urgent,
+        alpha=alpha,
+    )
+    net.send(request)
+    engine.run()
+    grant = inbox.get_nowait()
+    assert isinstance(grant, PowerGrant)
+    assert grant.reply_to == request.msg_id
+    return grant
+
+
+class TestClampTransaction:
+    """The paper's worked example: 10% clamped to [1, 30]."""
+
+    def test_mid_range_gives_ten_percent(self):
+        assert clamp_transaction(100.0, 0.10, 1.0, 30.0) == pytest.approx(10.0)
+
+    def test_pool_over_300_returns_30(self):
+        assert clamp_transaction(301.0, 0.10, 1.0, 30.0) == 30.0
+        assert clamp_transaction(1e6, 0.10, 1.0, 30.0) == 30.0
+
+    def test_pool_below_10_returns_1(self):
+        assert clamp_transaction(9.0, 0.10, 1.0, 30.0) == 1.0
+        assert clamp_transaction(0.0, 0.10, 1.0, 30.0) == 1.0
+
+    def test_boundaries(self):
+        assert clamp_transaction(300.0, 0.10, 1.0, 30.0) == 30.0
+        assert clamp_transaction(10.0, 0.10, 1.0, 30.0) == 1.0
+
+
+class TestLocalApi:
+    def test_deposit_and_balance(self, pool):
+        pool.deposit(25.0)
+        pool.deposit(5.0)
+        assert pool.balance_w == 30.0
+
+    def test_negative_deposit_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.deposit(-1.0)
+
+    def test_withdraw_up_to(self, pool):
+        pool.deposit(10.0)
+        assert pool.withdraw_up_to(4.0) == 4.0
+        assert pool.withdraw_up_to(100.0) == 6.0
+        assert pool.withdraw_up_to(1.0) == 0.0
+        assert pool.balance_w == 0.0
+
+    def test_negative_withdraw_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.withdraw_up_to(-1.0)
+
+    def test_max_transaction_follows_clamp(self, pool):
+        pool.deposit(200.0)
+        assert pool.max_transaction_w() == pytest.approx(20.0)
+
+    def test_rate_limit_ablation(self, engine, net, rngs):
+        config = PenelopeConfig(enable_rate_limit=False)
+        pool = PowerPool(engine, net, 2, config, rngs.stream("p2"))
+        pool.deposit(200.0)
+        assert pool.max_transaction_w() == 200.0
+
+
+class TestRequestHandling:
+    def test_non_urgent_request_is_rate_limited(self, engine, net, pool):
+        pool.deposit(200.0)
+        grant = send_request(engine, net, pool)
+        assert grant.delta == pytest.approx(20.0)  # 10% of 200
+        assert pool.balance_w == pytest.approx(180.0)
+
+    def test_non_urgent_clamped_to_upper_limit(self, engine, net, pool):
+        pool.deposit(1000.0)
+        grant = send_request(engine, net, pool)
+        assert grant.delta == 30.0
+
+    def test_small_pool_gives_everything(self, engine, net, pool):
+        pool.deposit(0.5)
+        grant = send_request(engine, net, pool)
+        # min(pool, LOWER_LIMIT=1) -> the whole 0.5 W.
+        assert grant.delta == pytest.approx(0.5)
+        assert pool.balance_w == 0.0
+
+    def test_empty_pool_grants_zero(self, engine, net, pool):
+        grant = send_request(engine, net, pool)
+        assert grant.delta == 0.0
+
+    def test_urgent_request_bypasses_limit(self, engine, net, pool):
+        pool.deposit(200.0)
+        grant = send_request(engine, net, pool, urgent=True, alpha=75.0)
+        assert grant.delta == pytest.approx(75.0)  # alpha, not 10%
+
+    def test_urgent_request_bounded_by_pool(self, engine, net, pool):
+        pool.deposit(10.0)
+        grant = send_request(engine, net, pool, urgent=True, alpha=75.0)
+        assert grant.delta == pytest.approx(10.0)
+
+    def test_urgent_sets_local_urgency(self, engine, net, pool):
+        send_request(engine, net, pool, urgent=True, alpha=5.0)
+        assert pool.local_urgency
+
+    def test_non_urgent_does_not_set_local_urgency(self, engine, net, pool):
+        send_request(engine, net, pool)
+        assert not pool.local_urgency
+
+    def test_local_urgency_sticky_until_consumed(self, engine, net, pool):
+        send_request(engine, net, pool, urgent=True, alpha=5.0, src=0)
+        send_request(engine, net, pool, urgent=False, src=2)
+        assert pool.local_urgency  # not clobbered by the later request
+        assert pool.consume_local_urgency()
+        assert not pool.local_urgency
+
+    def test_urgency_ablation(self, engine, net, rngs):
+        config = PenelopeConfig(enable_urgency=False)
+        pool = PowerPool(engine, net, 2, config, rngs.stream("p2"))
+        pool.start()
+        pool.deposit(10.0)
+        send_request(engine, net, pool, urgent=True, alpha=5.0)
+        assert not pool.local_urgency
+
+    def test_never_negative_balance(self, engine, net, pool):
+        pool.deposit(3.0)
+        for src in (0, 2, 3):
+            send_request(engine, net, pool, urgent=True, alpha=50.0, src=src)
+            assert pool.balance_w >= 0.0
+
+    def test_counters(self, engine, net, pool):
+        pool.deposit(50.0)
+        send_request(engine, net, pool)
+        send_request(engine, net, pool, urgent=True, alpha=5.0)
+        assert pool.requests_handled == 2
+        assert pool.urgent_requests_handled == 1
+        assert pool.granted_out_w > 0
+
+    def test_grant_recorded(self, engine, net, pool):
+        pool.deposit(100.0)
+        send_request(engine, net, pool)
+        grants = pool.recorder.grants()
+        assert len(grants) == 1
+        assert grants[0].src == 1 and grants[0].dst == 0
+
+    def test_foreign_message_ignored(self, engine, net, pool):
+        net.send(PowerGrant(src=Addr(0, PORT_POOL), dst=pool.addr, delta=1.0))
+        engine.run()
+        assert pool.recorder.counters.get("pool.unexpected_message") == 1

@@ -1,0 +1,108 @@
+"""Unit tests for the paper-metric derivations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import (
+    redistribution_events,
+    redistribution_time_s,
+    released_watts,
+    timeout_rate,
+    turnaround_summary,
+)
+from repro.instrumentation import MetricsRecorder
+
+
+def recorder_with_grants():
+    recorder = MetricsRecorder()
+    # Donors 0-1 release at t=5; grants arrive at hungry nodes 2-3 later.
+    recorder.transaction(5.0, "release", 0, 0, 50.0)
+    recorder.transaction(5.0, "release", 1, 1, 50.0)
+    recorder.transaction(6.0, "grant", 0, 2, 25.0)
+    recorder.transaction(7.0, "grant", 1, 3, 25.0)
+    recorder.transaction(8.0, "grant", 0, 2, 25.0)
+    recorder.transaction(9.0, "grant", 1, 3, 25.0)
+    # Local recirculation at a hungry node must NOT count twice.
+    recorder.transaction(9.5, "local", 2, 2, 10.0)
+    # A grant to a donor (not hungry) must not count either.
+    recorder.transaction(9.6, "grant", 1, 0, 5.0)
+    return recorder
+
+
+class TestRedistributionEvents:
+    def test_filters_to_hungry_grants(self):
+        events = redistribution_events(recorder_with_grants(), [2, 3], t0=5.0)
+        assert len(events) == 4
+        assert all(watts == 25.0 for _, watts in events)
+
+    def test_t0_excludes_earlier(self):
+        events = redistribution_events(recorder_with_grants(), [2, 3], t0=7.5)
+        assert len(events) == 2
+
+
+class TestRedistributionTime:
+    def test_median_time(self):
+        time = redistribution_time_s(
+            recorder_with_grants(), [2, 3], available_w=100.0, fraction=0.5, t0=5.0
+        )
+        assert time == pytest.approx(2.0)  # 50 W by t=7 -> 2 s after t0
+
+    def test_total_time(self):
+        time = redistribution_time_s(
+            recorder_with_grants(), [2, 3], available_w=100.0, fraction=1.0, t0=5.0
+        )
+        assert time == pytest.approx(4.0)
+
+    def test_incomplete_is_inf(self):
+        time = redistribution_time_s(
+            recorder_with_grants(), [2, 3], available_w=500.0, fraction=1.0, t0=5.0
+        )
+        assert time == float("inf")
+
+
+class TestTurnaround:
+    def test_summary(self):
+        recorder = MetricsRecorder()
+        for wait in (0.001, 0.002, 0.003):
+            recorder.turnaround(1.0, 0, wait, 1.0, timed_out=False)
+        summary = turnaround_summary(recorder)
+        assert summary is not None
+        assert summary.mean == pytest.approx(0.002)
+
+    def test_none_without_samples(self):
+        assert turnaround_summary(MetricsRecorder()) is None
+
+    def test_after_filter(self):
+        recorder = MetricsRecorder()
+        recorder.turnaround(1.0, 0, 0.010, 1.0, timed_out=False)
+        recorder.turnaround(9.0, 0, 0.020, 1.0, timed_out=False)
+        summary = turnaround_summary(recorder, after=5.0)
+        assert summary.count == 1 and summary.mean == pytest.approx(0.020)
+
+    def test_timeout_exclusion(self):
+        recorder = MetricsRecorder()
+        recorder.turnaround(1.0, 0, 0.010, 1.0, timed_out=False)
+        recorder.turnaround(2.0, 0, 1.0, 0.0, timed_out=True)
+        with_timeouts = turnaround_summary(recorder)
+        without = turnaround_summary(recorder, include_timeouts=False)
+        assert with_timeouts.count == 2 and without.count == 1
+
+    def test_timeout_rate(self):
+        recorder = MetricsRecorder()
+        recorder.turnaround(1.0, 0, 0.010, 1.0, timed_out=False)
+        recorder.turnaround(2.0, 0, 1.0, 0.0, timed_out=True)
+        assert timeout_rate(recorder) == 0.5
+        assert timeout_rate(MetricsRecorder()) == 0.0
+
+
+class TestReleasedWatts:
+    def test_sums_release_kinds_from_sources(self):
+        recorder = MetricsRecorder()
+        recorder.transaction(1.0, "release", 0, 0, 10.0)
+        recorder.transaction(2.0, "induced-release", 0, 0, 5.0)
+        recorder.transaction(3.0, "release", 1, 1, 7.0)
+        recorder.transaction(4.0, "grant", 0, 1, 3.0)
+        assert released_watts(recorder, [0]) == 15.0
+        assert released_watts(recorder, [0, 1]) == 22.0
+        assert released_watts(recorder, [0], t0=1.5) == 5.0

@@ -1,0 +1,68 @@
+"""Unit tests for the metrics recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrumentation import MetricsRecorder, merge_recorders
+
+
+class TestRecording:
+    def test_transaction_views(self):
+        recorder = MetricsRecorder()
+        recorder.transaction(1.0, "release", 0, 0, 10.0)
+        recorder.transaction(2.0, "grant", 1, 0, 4.0, urgent=True)
+        recorder.transaction(3.0, "induced-release", 2, 2, 6.0)
+        recorder.transaction(4.0, "local", 0, 0, 2.0)
+        assert len(recorder.grants()) == 1
+        assert len(recorder.releases()) == 2
+        assert recorder.total_granted_w() == 4.0
+        assert recorder.total_released_w() == 16.0
+
+    def test_negative_transaction_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder().transaction(0.0, "grant", 0, 1, -1.0)
+
+    def test_turnaround_waits_filtering(self):
+        recorder = MetricsRecorder()
+        recorder.turnaround(1.0, 0, 0.01, 5.0, timed_out=False)
+        recorder.turnaround(2.0, 1, 1.0, 0.0, timed_out=True)
+        assert recorder.turnaround_waits() == [0.01, 1.0]
+        assert recorder.turnaround_waits(include_timeouts=False) == [0.01]
+
+    def test_cap_recording_toggle(self):
+        on = MetricsRecorder(record_caps=True)
+        off = MetricsRecorder(record_caps=False)
+        for recorder in (on, off):
+            recorder.cap(1.0, 0, 150.0)
+        assert len(on.caps) == 1
+        assert len(off.caps) == 0
+
+    def test_caps_of(self):
+        recorder = MetricsRecorder()
+        recorder.cap(1.0, 0, 150.0)
+        recorder.cap(2.0, 1, 140.0)
+        recorder.cap(3.0, 0, 130.0)
+        assert recorder.caps_of(0) == [(1.0, 150.0), (3.0, 130.0)]
+
+    def test_bump(self):
+        recorder = MetricsRecorder()
+        recorder.bump("x")
+        recorder.bump("x", by=2)
+        assert recorder.counters == {"x": 3}
+
+
+class TestMerge:
+    def test_merge_combines_and_sorts(self):
+        a, b = MetricsRecorder(), MetricsRecorder()
+        a.transaction(5.0, "grant", 0, 1, 1.0)
+        b.transaction(2.0, "grant", 1, 0, 2.0)
+        a.bump("k")
+        b.bump("k", by=4)
+        merged = merge_recorders([a, b])
+        assert [t.time for t in merged.transactions] == [2.0, 5.0]
+        assert merged.counters == {"k": 5}
+
+    def test_merge_empty(self):
+        merged = merge_recorders([])
+        assert merged.transactions == []

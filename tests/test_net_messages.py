@@ -1,0 +1,94 @@
+"""Unit tests for message types and addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.messages import (
+    PORT_DECIDER,
+    PORT_POOL,
+    Addr,
+    ExcessReport,
+    PowerGrant,
+    PowerRequest,
+    ReleaseDirective,
+    next_message_id,
+)
+
+
+def addr(node: int, port: str = PORT_DECIDER) -> Addr:
+    return Addr(node, port)
+
+
+class TestAddr:
+    def test_fields(self):
+        a = Addr(3, "pool")
+        assert a.node == 3 and a.port == "pool"
+
+    def test_equality_and_hash(self):
+        assert Addr(1, "pool") == Addr(1, "pool")
+        assert Addr(1, "pool") != Addr(1, "decider")
+        assert len({Addr(1, "pool"), Addr(1, "pool"), Addr(2, "pool")}) == 2
+
+    def test_str(self):
+        assert str(Addr(7, "server")) == "7:server"
+
+
+class TestMessageIds:
+    def test_ids_monotonic_and_unique(self):
+        ids = [next_message_id() for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+
+    def test_messages_get_distinct_ids(self):
+        a = PowerRequest(src=addr(0), dst=addr(1, PORT_POOL))
+        b = PowerRequest(src=addr(0), dst=addr(1, PORT_POOL))
+        assert a.msg_id != b.msg_id
+
+
+class TestPowerRequest:
+    def test_plain_request(self):
+        req = PowerRequest(src=addr(0), dst=addr(1, PORT_POOL))
+        assert not req.urgent and req.alpha == 0.0
+        assert req.kind == "PowerRequest"
+
+    def test_urgent_request_carries_alpha(self):
+        req = PowerRequest(src=addr(0), dst=addr(1, PORT_POOL), urgent=True, alpha=12.5)
+        assert req.urgent and req.alpha == 12.5
+
+    def test_alpha_on_non_urgent_rejected(self):
+        with pytest.raises(ValueError):
+            PowerRequest(src=addr(0), dst=addr(1, PORT_POOL), alpha=5.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            PowerRequest(
+                src=addr(0), dst=addr(1, PORT_POOL), urgent=True, alpha=-1.0
+            )
+
+
+class TestPowerGrant:
+    def test_carries_delta_and_correlation(self):
+        grant = PowerGrant(src=addr(1, PORT_POOL), dst=addr(0), delta=4.0, reply_to=99)
+        assert grant.delta == 4.0 and grant.reply_to == 99
+
+    def test_zero_grant_allowed(self):
+        PowerGrant(src=addr(1, PORT_POOL), dst=addr(0), delta=0.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            PowerGrant(src=addr(1, PORT_POOL), dst=addr(0), delta=-0.1)
+
+
+class TestExcessReport:
+    def test_positive_delta_required(self):
+        with pytest.raises(ValueError):
+            ExcessReport(src=addr(0), dst=addr(1), delta=0.0)
+        ExcessReport(src=addr(0), dst=addr(1), delta=1.0)
+
+
+class TestReleaseDirective:
+    def test_kind_and_attribution(self):
+        directive = ReleaseDirective(src=addr(9), dst=addr(0), on_behalf_of=4)
+        assert directive.kind == "ReleaseDirective"
+        assert directive.on_behalf_of == 4

@@ -1,0 +1,152 @@
+"""Unit tests for message delivery, drops, partitions and failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.messages import PORT_DECIDER, PORT_POOL, Addr, PowerGrant, PowerRequest
+from repro.net.network import Network
+from repro.net.topology import LatencyModel, Topology
+from repro.sim.resources import Store
+
+
+@pytest.fixture
+def net(engine, rngs):
+    topology = Topology(4, latency=LatencyModel(sigma=0.0))
+    return Network(engine, topology, rngs.stream("net"))
+
+
+def request(src: int, dst: int) -> PowerRequest:
+    return PowerRequest(src=Addr(src, PORT_DECIDER), dst=Addr(dst, PORT_POOL))
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        msg = request(0, 1)
+        net.send(msg)
+        assert len(inbox) == 0  # not delivered synchronously
+        engine.run()
+        assert len(inbox) == 1
+        assert inbox.get_nowait() is msg
+        assert engine.now == pytest.approx(120e-6)
+
+    def test_send_time_stamped(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        engine.timeout(1.0)
+        engine.run()
+        msg = request(0, 1)
+        net.send(msg)
+        assert msg.send_time == 1.0
+
+    def test_loopback_faster_than_remote(self, engine, net):
+        inbox_local = Store(engine)
+        net.attach(Addr(0, PORT_POOL), inbox_local)
+        net.send(request(0, 0))
+        engine.run()
+        assert engine.now == pytest.approx(5e-6)
+
+    def test_two_endpoints_one_node(self, engine, net):
+        pool_inbox, decider_inbox = Store(engine), Store(engine)
+        net.attach(Addr(1, PORT_POOL), pool_inbox)
+        net.attach(Addr(1, PORT_DECIDER), decider_inbox)
+        net.send(request(0, 1))
+        net.send(PowerGrant(src=Addr(0, PORT_POOL), dst=Addr(1, PORT_DECIDER), delta=1.0))
+        engine.run()
+        assert len(pool_inbox) == 1 and len(decider_inbox) == 1
+
+    def test_stats_counted(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.send(request(0, 1))
+        engine.run()
+        assert net.stats.sent == 1
+        assert net.stats.delivered == 1
+        assert net.stats.dropped == 0
+        assert net.stats.by_kind == {"PowerRequest": 1}
+
+
+class TestDrops:
+    def test_unattached_destination_drops(self, engine, net):
+        net.send(request(0, 3))
+        engine.run()
+        assert net.stats.dropped_unattached == 1
+
+    def test_overflow_drops(self, engine, net):
+        inbox = Store(engine, capacity=1)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.send(request(0, 1))
+        net.send(request(2, 1))
+        engine.run()
+        assert len(inbox) == 1
+        assert net.stats.dropped_overflow == 1
+        assert net.stats.delivered == 1
+
+    def test_dead_source_drops_immediately(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.mark_dead(0)
+        net.send(request(0, 1))
+        engine.run()
+        assert len(inbox) == 0
+        assert net.stats.dropped_dead == 1
+
+    def test_death_in_flight_drops(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.send(request(0, 1))
+        net.mark_dead(1)  # dies while the message is in flight
+        engine.run()
+        assert len(inbox) == 0
+        assert net.stats.dropped_dead == 1
+
+    def test_mark_alive_restores(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.mark_dead(1)
+        net.mark_alive(1)
+        net.send(request(0, 1))
+        engine.run()
+        assert len(inbox) == 1
+
+    def test_partition_drops_cross_traffic(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.topology.partition([1])
+        net.send(request(0, 1))
+        engine.run()
+        assert net.stats.dropped_partition == 1
+
+    def test_dropped_total_aggregates(self, engine, net):
+        net.mark_dead(0)
+        net.send(request(0, 1))
+        net.send(request(2, 3))  # unattached
+        engine.run()
+        assert net.stats.dropped == 2
+
+
+class TestAttachment:
+    def test_double_attach_rejected(self, engine, net):
+        net.attach(Addr(1, PORT_POOL), Store(engine))
+        with pytest.raises(ValueError):
+            net.attach(Addr(1, PORT_POOL), Store(engine))
+
+    def test_attach_outside_topology_rejected(self, engine, net):
+        with pytest.raises(ValueError):
+            net.attach(Addr(99, PORT_POOL), Store(engine))
+
+    def test_detach_then_messages_drop(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.detach(Addr(1, PORT_POOL))
+        net.send(request(0, 1))
+        engine.run()
+        assert net.stats.dropped_unattached == 1
+
+    def test_inbox_of(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        assert net.inbox_of(Addr(1, PORT_POOL)) is inbox
+        assert net.inbox_of(Addr(2, PORT_POOL)) is None

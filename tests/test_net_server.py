@@ -1,0 +1,150 @@
+"""Unit tests for the serial request server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.messages import PORT_DECIDER, PORT_SERVER, Addr, PowerGrant, PowerRequest
+from repro.net.network import Network
+from repro.net.server import RequestServer
+from repro.net.topology import LatencyModel, Topology
+from repro.sim.resources import Store
+
+
+@pytest.fixture
+def net(engine, rngs):
+    return Network(
+        engine, Topology(4, latency=LatencyModel(sigma=0.0)), rngs.stream("net")
+    )
+
+
+def make_server(engine, net, rngs, handler=None, **kwargs):
+    handler = handler or (lambda message: ())
+    return RequestServer(
+        engine,
+        net,
+        Addr(3, PORT_SERVER),
+        handler,
+        rngs.stream("server"),
+        **kwargs,
+    )
+
+
+def send_request(net, src=0):
+    message = PowerRequest(src=Addr(src, PORT_DECIDER), dst=Addr(3, PORT_SERVER))
+    net.send(message)
+    return message
+
+
+class TestServiceLoop:
+    def test_handler_called_per_message(self, engine, net, rngs):
+        seen = []
+        server = make_server(engine, net, rngs, handler=lambda m: (seen.append(m), ())[1])
+        server.start()
+        for src in range(3):
+            send_request(net, src)
+        engine.run()
+        assert len(seen) == 3
+        assert server.requests_served == 3
+
+    def test_serial_service_time_accumulates(self, engine, net, rngs):
+        server = make_server(engine, net, rngs, service_time=(1e-3, 1e-3))
+        server.start()
+        for src in range(3):
+            send_request(net, src)
+        engine.run()
+        assert server.busy_time == pytest.approx(3e-3)
+        # Three serial 1 ms services after a 120 us flight.
+        assert engine.now == pytest.approx(120e-6 + 3e-3)
+
+    def test_replies_are_sent(self, engine, net, rngs):
+        def handler(message):
+            return (
+                PowerGrant(
+                    src=Addr(3, PORT_SERVER),
+                    dst=message.src,
+                    delta=1.0,
+                    reply_to=message.msg_id,
+                ),
+            )
+        client_inbox = Store(engine)
+        net.attach(Addr(0, PORT_DECIDER), client_inbox)
+        server = make_server(engine, net, rngs, handler=handler)
+        server.start()
+        request = send_request(net, 0)
+        engine.run()
+        assert len(client_inbox) == 1
+        reply = client_inbox.get_nowait()
+        assert reply.reply_to == request.msg_id
+
+    def test_bounded_inbox_drops_overflow(self, engine, net, rngs):
+        # Service is much slower than arrivals: the queue saturates.
+        server = make_server(
+            engine, net, rngs, service_time=(1.0, 1.0), inbox_capacity=2
+        )
+        server.start()
+        for src in range(4):
+            send_request(net, src % 4)
+        engine.run()
+        # One in service + 2 queued; the 4th was dropped.
+        assert net.stats.dropped_overflow >= 1
+        assert server.requests_served + len(server.inbox) <= 4
+
+    def test_zero_service_time(self, engine, net, rngs):
+        server = make_server(engine, net, rngs, service_time=(0.0, 0.0))
+        server.start()
+        send_request(net)
+        engine.run()
+        assert server.requests_served == 1
+        assert server.busy_time == 0.0
+
+    def test_invalid_service_time(self, engine, net, rngs):
+        with pytest.raises(ValueError):
+            make_server(engine, net, rngs, service_time=(2.0, 1.0))
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, engine, net, rngs):
+        server = make_server(engine, net, rngs)
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_stop_kills_loop_and_drains_queue(self, engine, net, rngs):
+        server = make_server(engine, net, rngs, service_time=(1.0, 1.0))
+        server.start()
+        for src in range(3):
+            send_request(net, src)
+        engine.run(until=0.5)  # first request in service, two queued
+        server.stop()
+        engine.run()
+        assert not server.is_running
+        assert server.queue_depth == 0
+        assert server.requests_served == 0  # first service never finished
+
+    def test_messages_after_stop_pile_up_unserved(self, engine, net, rngs):
+        server = make_server(engine, net, rngs)
+        server.start()
+        server.stop()
+        send_request(net)
+        engine.run()
+        assert server.requests_served == 0
+
+    def test_restart_after_stop(self, engine, net, rngs):
+        server = make_server(engine, net, rngs)
+        server.start()
+        server.stop()
+        engine.run()
+        server.start()
+        send_request(net)
+        engine.run()
+        assert server.requests_served == 1
+
+    def test_utilization(self, engine, net, rngs):
+        server = make_server(engine, net, rngs, service_time=(0.5, 0.5))
+        server.start()
+        send_request(net)
+        engine.run()
+        engine.timeout(0.5)
+        engine.run()
+        assert 0.0 < server.utilization() < 1.0

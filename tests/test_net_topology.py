@@ -1,0 +1,93 @@
+"""Unit tests for topology and latency model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.topology import LatencyModel, Topology
+
+
+class TestLatencyModel:
+    def test_remote_latency_near_median(self, rng):
+        model = LatencyModel(median_remote_s=100e-6, sigma=0.3)
+        samples = [model.sample(0, 1, rng) for _ in range(2000)]
+        assert np.median(samples) == pytest.approx(100e-6, rel=0.1)
+
+    def test_local_cheaper_than_remote(self, rng):
+        model = LatencyModel()
+        local = np.mean([model.sample(2, 2, rng) for _ in range(500)])
+        remote = np.mean([model.sample(0, 1, rng) for _ in range(500)])
+        assert local < remote
+
+    def test_floor_respected(self, rng):
+        model = LatencyModel(sigma=3.0, floor_s=1e-6)
+        assert all(model.sample(0, 1, rng) >= 1e-6 for _ in range(1000))
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        model = LatencyModel(median_remote_s=5e-5, sigma=0.0)
+        assert model.sample(0, 1, rng) == 5e-5
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(median_remote_s=0)
+        with pytest.raises(ValueError):
+            LatencyModel(sigma=-1)
+
+
+class TestTopology:
+    def test_node_ids(self):
+        topology = Topology(4)
+        assert list(topology.node_ids) == [0, 1, 2, 3]
+        assert topology.contains(3) and not topology.contains(4)
+        assert not topology.contains(-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Topology(0)
+
+    def test_all_reachable_initially(self):
+        topology = Topology(3)
+        assert all(
+            topology.reachable(i, j) for i in range(3) for j in range(3)
+        )
+
+    def test_partition_blocks_cross_traffic(self):
+        topology = Topology(4)
+        topology.partition([0, 1])
+        assert not topology.reachable(0, 2)
+        assert not topology.reachable(3, 1)
+
+    def test_partition_keeps_same_side_traffic(self):
+        topology = Topology(4)
+        topology.partition([0, 1])
+        assert topology.reachable(0, 1)
+        assert topology.reachable(2, 3)
+
+    def test_loopback_survives_partition(self):
+        topology = Topology(2)
+        topology.partition([0])
+        assert topology.reachable(0, 0)
+
+    def test_heal_all(self):
+        topology = Topology(3)
+        topology.partition([0])
+        topology.heal()
+        assert topology.reachable(0, 2)
+        assert topology.partitioned_nodes() == []
+
+    def test_heal_subset(self):
+        topology = Topology(4)
+        topology.partition([0, 1])
+        topology.heal([0])
+        assert topology.reachable(0, 2)
+        assert not topology.reachable(1, 2)
+        assert topology.partitioned_nodes() == [1]
+
+    def test_partition_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2).partition([5])
+
+    def test_unreachable_outside_topology(self):
+        topology = Topology(2)
+        assert not topology.reachable(0, 9)

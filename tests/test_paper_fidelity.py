@@ -1,0 +1,163 @@
+"""Table-driven fidelity tests against the paper's text and pseudocode.
+
+Each test cites the sentence or pseudocode line it checks, so a reviewer
+can audit the implementation against the paper clause by clause.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PenelopeConfig
+from repro.core.pool import clamp_transaction
+from repro.managers.slurm import SlurmConfig
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.workloads.apps import APP_MODELS, APP_NAMES
+from repro.workloads.generator import unique_pairs
+
+
+class TestSection2Constraints:
+    """§2.1: the two constraints every manager must keep."""
+
+    def test_sum_of_caps_bounded_by_system_cap(self):
+        # Checked live by BudgetAudit; here: the audit arithmetic itself.
+        from repro.managers.base import BudgetAudit
+
+        audit = BudgetAudit(
+            budget_w=100.0, caps_w=70.0, pooled_w=20.0, in_flight_w=10.0,
+            lost_w=0.0,
+        )
+        assert audit.budget_ok
+        audit = BudgetAudit(
+            budget_w=100.0, caps_w=70.0, pooled_w=20.0, in_flight_w=10.1,
+            lost_w=0.0,
+        )
+        assert not audit.budget_ok
+
+    def test_safe_range_is_per_node_window(self):
+        spec = SKYLAKE_6126_NODE
+        assert not spec.is_safe_cap(spec.min_cap_w - 1)
+        assert not spec.is_safe_cap(spec.max_cap_w + 1)
+
+
+class TestSection232SlurmHeuristic:
+    """§2.3.2: 'if P_i > C_i - eps ... power-hungry ... otherwise excess'."""
+
+    @pytest.mark.parametrize(
+        "power,cap,eps,hungry",
+        [
+            (96.0, 100.0, 5.0, True),   # inside the margin
+            (100.0, 100.0, 5.0, True),  # at the cap
+            (94.9, 100.0, 5.0, False),  # below the margin -> excess
+            (95.0, 100.0, 5.0, True),   # boundary: P == C - eps is hungry
+        ],
+    )
+    def test_classification_boundary(self, power, cap, eps, hungry):
+        # The implementations use `P < C - eps` for excess, i.e. hungry
+        # iff P >= C - eps, matching the paper's P > C - eps up to the
+        # measure-zero boundary (which the paper leaves ambiguous: Alg. 1
+        # writes `P > C_t - eps` for hungry AND `P < C_t - eps` for excess).
+        is_excess = power < cap - eps
+        assert (not is_excess) == hungry
+
+
+class TestSection32PoolNumbers:
+    """§3.2's worked example: 'if the pool size is over 300 it returns
+    30, and if below 10 it returns 1'."""
+
+    def test_over_300_returns_30(self):
+        assert clamp_transaction(301.0, 0.10, 1.0, 30.0) == 30.0
+
+    def test_below_10_returns_1(self):
+        assert clamp_transaction(9.99, 0.10, 1.0, 30.0) == 1.0
+
+    def test_default_limits_match_paper(self):
+        config = PenelopeConfig()
+        assert config.upper_limit_w == 30.0  # "UPPER_LIMIT to 30 watts"
+        assert config.lower_limit_w == 1.0   # "LOWER_LIMIT to 1 watt"
+        assert config.rate == 0.10           # "10% of the total size"
+
+
+class TestSection41Setup:
+    """§4.1's experimental setup facts."""
+
+    def test_nine_applications_thirty_six_pairs(self):
+        assert len(APP_NAMES) == 9
+        assert len(unique_pairs()) == 36
+
+    def test_is_omitted(self):
+        assert "IS" not in APP_NAMES
+
+    def test_testbed_node_shape(self):
+        spec = SKYLAKE_6126_NODE
+        assert spec.sockets == 2  # dual-socket Skylake 6126
+
+    def test_paper_cap_settings_are_safe(self):
+        # "60, 70, 80, 90, and 100W per socket, with 2 sockets per node"
+        spec = SKYLAKE_6126_NODE
+        for cap in (60.0, 70.0, 80.0, 90.0, 100.0):
+            assert spec.is_safe_cap(cap * spec.sockets)
+
+    def test_deciders_iterate_once_per_second(self):
+        # §4.5: "local deciders iterate once every second".
+        assert PenelopeConfig().period_s == 1.0
+        assert SlurmConfig().period_s == 1.0
+
+
+class TestSection45ServerFacts:
+    """§4.5's measured server characteristics."""
+
+    def test_service_time_80_to_100_us(self):
+        lo, hi = SlurmConfig().server_service_time_s
+        assert lo == pytest.approx(80e-6)
+        assert hi == pytest.approx(100e-6)
+
+    def test_extrapolated_saturation_at_12500_nodes(self):
+        # "even at 80 microseconds, a system of 12,500 nodes sending
+        # messages every second would force the server to take 1 second".
+        assert round(1.0 / 80e-6) == 12_500
+
+    def test_simulated_scale_reaches_1056(self):
+        # "we can simulate 1056 total nodes" -- the sweep's top end.
+        from repro.experiments.scaling import PAPER_SCALES
+
+        assert PAPER_SCALES[-1] == 1056
+        assert PAPER_SCALES[0] == 44  # "from 44 nodes to 1056"
+
+
+class TestAlgorithm1Lines:
+    """Algorithm 1, line-for-line behaviours (unit rigs cover the loop;
+    these check the decision table in isolation)."""
+
+    def test_urgency_definition(self):
+        # "any node that (1) ... power-hungry and (2) has a powercap below
+        # its initial cap has an urgent state".
+        from repro.core.decider import LocalDecider
+
+        # is_urgent reflects the cap test; hungriness is evaluated in-loop.
+        assert LocalDecider.is_urgent.fget is not None
+
+    def test_alpha_is_distance_to_initial_cap(self):
+        # "alpha = initialCap - C_t".
+        initial, cap = 160.0, 117.5
+        assert max(0.0, initial - cap) == pytest.approx(42.5)
+
+    def test_non_urgent_requests_carry_no_alpha(self):
+        from repro.net.messages import PORT_POOL, Addr, PowerRequest
+
+        with pytest.raises(ValueError):
+            PowerRequest(
+                src=Addr(0, "decider"), dst=Addr(1, PORT_POOL), alpha=3.0
+            )
+
+
+class TestWorkloadRuntimeFacts:
+    """§4.1: 'each other application takes at least 40 seconds and all
+    but one take at [least] two minutes'."""
+
+    def test_runtime_floor(self):
+        assert all(m.nominal_runtime_s >= 40.0 for m in APP_MODELS.values())
+
+    def test_exactly_one_under_two_minutes(self):
+        short = [m.name for m in APP_MODELS.values() if m.nominal_runtime_s < 120.0]
+        assert len(short) == 1

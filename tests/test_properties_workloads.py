@@ -1,0 +1,110 @@
+"""Property-based tests: workload, trace and performance-model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import geometric_mean
+from repro.analysis.timeseries import time_to_fraction
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.workloads.apps import APP_NAMES, build_app
+from repro.workloads.performance import (
+    runtime_at_constant_cap,
+    speed_under_cap,
+)
+from repro.workloads.traces import trace_from_workload
+
+SPEC = SKYLAKE_6126_NODE
+
+caps = st.floats(SPEC.min_cap_w, SPEC.max_cap_w)
+demands = st.floats(SPEC.idle_w + 1.0, SPEC.max_cap_w)
+betas = st.floats(0.1, 1.0)
+
+
+class TestSpeedModelProperties:
+    @given(cap=caps, demand=demands, beta=betas)
+    def test_speed_in_unit_interval(self, cap, demand, beta):
+        speed = speed_under_cap(cap, demand, SPEC.idle_w, beta)
+        assert 0.0 < speed <= 1.0
+
+    @given(cap_a=caps, cap_b=caps, demand=demands, beta=betas)
+    def test_speed_monotone_in_cap(self, cap_a, cap_b, demand, beta):
+        lo, hi = sorted((cap_a, cap_b))
+        assert speed_under_cap(lo, demand, SPEC.idle_w, beta) <= speed_under_cap(
+            hi, demand, SPEC.idle_w, beta
+        )
+
+    @given(cap=caps, demand=demands, beta_a=betas, beta_b=betas)
+    def test_smaller_beta_never_slower(self, cap, demand, beta_a, beta_b):
+        lo, hi = sorted((beta_a, beta_b))
+        assert speed_under_cap(cap, demand, SPEC.idle_w, lo) >= speed_under_cap(
+            cap, demand, SPEC.idle_w, hi
+        )
+
+
+class TestRuntimeProperties:
+    @given(app=st.sampled_from(APP_NAMES), cap_a=caps, cap_b=caps,
+           seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_runtime_monotone_decreasing_in_cap(self, app, cap_a, cap_b, seed):
+        workload = build_app(app, rng=np.random.default_rng(seed), scale=0.2)
+        lo, hi = sorted((cap_a, cap_b))
+        assert runtime_at_constant_cap(workload, hi, SPEC) <= runtime_at_constant_cap(
+            workload, lo, SPEC
+        )
+
+    @given(app=st.sampled_from(APP_NAMES), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_runtime_never_below_total_work(self, app, seed):
+        workload = build_app(app, rng=np.random.default_rng(seed), scale=0.2)
+        runtime = runtime_at_constant_cap(workload, SPEC.max_cap_w, SPEC)
+        assert runtime >= workload.total_work_s - 1e-9
+
+
+class TestTraceProperties:
+    @given(app=st.sampled_from(APP_NAMES), seed=st.integers(0, 1000),
+           t=st.floats(0.0, 500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_matches_workload_phase_demand(self, app, seed, t):
+        workload = build_app(app, rng=np.random.default_rng(seed), scale=0.3)
+        trace = trace_from_workload(workload, SPEC)
+        if t < workload.total_work_s:
+            expected = workload.phase_at_full_speed_time(t).demand_w(SPEC)
+        else:
+            expected = SPEC.idle_w
+        assert trace.demand_at(t) == expected
+
+    @given(app=st.sampled_from(APP_NAMES), seed=st.integers(0, 1000),
+           offset=st.floats(0.0, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_preserves_levels(self, app, seed, offset):
+        workload = build_app(app, rng=np.random.default_rng(seed), scale=0.2)
+        trace = trace_from_workload(workload, SPEC)
+        shifted = trace.shifted(offset)
+        for t in (0.0, workload.total_work_s / 2, workload.total_work_s + 1):
+            assert shifted.demand_at(t + offset) == trace.demand_at(t)
+
+
+class TestMetricProperties:
+    @given(
+        events=st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.floats(0.1, 50.0)),
+            min_size=1,
+            max_size=30,
+        ),
+        frac_a=st.floats(0.1, 1.0),
+        frac_b=st.floats(0.1, 1.0),
+    )
+    def test_time_to_fraction_monotone_in_fraction(self, events, frac_a, frac_b):
+        total = sum(w for _, w in events)
+        lo, hi = sorted((frac_a, frac_b))
+        assert time_to_fraction(events, total, lo) <= time_to_fraction(
+            events, total, hi
+        )
+
+    @given(values=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30))
+    def test_geomean_bounded_by_extremes(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9

@@ -1,0 +1,178 @@
+"""Unit tests for events and conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, AnyOf, Event
+
+
+class TestEventLifecycle:
+    def test_initial_state(self, engine):
+        event = engine.event()
+        assert not event.triggered
+        assert not event.processed
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_succeed_sets_value(self, engine):
+        event = engine.event()
+        event.succeed(7)
+        assert event.triggered and event.ok
+        assert event.value == 7
+
+    def test_double_succeed_rejected(self, engine):
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_then_succeed_rejected(self, engine):
+        event = engine.event()
+        event.fail(ValueError("x"))
+        event._defused = True
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, engine):
+        event = engine.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_processed_after_run(self, engine):
+        event = engine.event()
+        event.succeed()
+        engine.run()
+        assert event.processed
+
+    def test_succeed_with_delay_defers_processing(self, engine):
+        event = engine.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(engine.now))
+        event.succeed(delay=3.0)
+        engine.run()
+        assert seen == [3.0]
+
+    def test_callbacks_receive_event(self, engine):
+        event = engine.event()
+        got = []
+        event.callbacks.append(got.append)
+        event.succeed()
+        engine.run()
+        assert got == [event]
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, engine):
+        fast, slow = engine.timeout(1.0, "fast"), engine.timeout(5.0, "slow")
+
+        def waiter():
+            value = yield AnyOf(engine, [fast, slow])
+            return value
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value.values() == ["fast"]
+        assert fast in proc.value
+
+    def test_operator_or(self, engine):
+        a, b = engine.timeout(1.0, "a"), engine.timeout(2.0, "b")
+
+        def waiter():
+            value = yield a | b
+            return value.values()
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == ["a"]
+
+    def test_empty_anyof_fires_immediately(self, engine):
+        def waiter():
+            yield AnyOf(engine, [])
+            return engine.now
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == 0.0
+
+    def test_already_processed_subevent(self, engine):
+        done = engine.event()
+        done.succeed("early")
+        engine.run()
+
+        def waiter():
+            value = yield AnyOf(engine, [done, engine.timeout(9.0)])
+            return value[done]
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == "early"
+
+    def test_failure_propagates(self, engine):
+        bad = engine.event()
+
+        def waiter():
+            try:
+                yield AnyOf(engine, [bad, engine.timeout(9.0)])
+            except ValueError as exc:
+                return str(exc)
+        proc = engine.process(waiter())
+        bad.fail(ValueError("sub-failure"))
+        engine.run()
+        assert proc.value == "sub-failure"
+
+
+class TestAllOf:
+    def test_waits_for_all(self, engine):
+        a, b = engine.timeout(1.0, "a"), engine.timeout(5.0, "b")
+
+        def waiter():
+            value = yield AllOf(engine, [a, b])
+            return (engine.now, value.values())
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == (5.0, ["a", "b"])
+
+    def test_operator_and(self, engine):
+        a, b = engine.timeout(1.0), engine.timeout(2.0)
+
+        def waiter():
+            yield a & b
+            return engine.now
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == 2.0
+
+    def test_empty_allof_fires_immediately(self, engine):
+        def waiter():
+            yield AllOf(engine, [])
+            return engine.now
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == 0.0
+
+    def test_condition_value_len_and_getitem(self, engine):
+        a, b = engine.timeout(1.0, "x"), engine.timeout(2.0, "y")
+
+        def waiter():
+            value = yield AllOf(engine, [a, b])
+            return (len(value), value[a], value[b])
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == (2, "x", "y")
+
+    def test_condition_value_missing_key(self, engine):
+        a = engine.timeout(1.0)
+        other = engine.timeout(1.0)
+
+        def waiter():
+            value = yield AllOf(engine, [a])
+            with pytest.raises(KeyError):
+                _ = value[other]
+            return True
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value is True
+
+    def test_cross_engine_condition_rejected(self, engine):
+        other_engine = Engine()
+        foreign = Event(other_engine)
+        with pytest.raises(ValueError):
+            AllOf(engine, [engine.event(), foreign])

@@ -1,0 +1,72 @@
+"""Unit tests for Process.cancel and the stop_process helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim._stop import stop_process
+from repro.sim.process import Interrupt
+
+
+class TestCancel:
+    def test_cancel_before_first_step(self, engine):
+        ran = []
+
+        def worker():
+            ran.append(True)
+            yield engine.timeout(1.0)
+        proc = engine.process(worker())
+        proc.cancel()
+        engine.run()
+        assert ran == []  # the body never executed
+        assert proc.processed and proc.ok
+        assert proc.value is None
+
+    def test_cancel_after_start_rejected(self, engine):
+        def worker():
+            yield engine.timeout(10.0)
+        proc = engine.process(worker())
+        engine.run(until=1.0)
+        with pytest.raises(RuntimeError, match="use interrupt"):
+            proc.cancel()
+
+
+class TestStopProcess:
+    def test_stop_uninitialized_cancels(self, engine):
+        def worker():
+            yield engine.timeout(1.0)
+            return "finished"
+        proc = engine.process(worker())
+        stop_process(proc)
+        engine.run()
+        assert proc.value is None
+
+    def test_stop_running_interrupts(self, engine):
+        def worker():
+            try:
+                yield engine.timeout(10.0)
+            except Interrupt as interrupt:
+                return interrupt.cause
+        proc = engine.process(worker())
+        engine.run(until=1.0)
+        stop_process(proc, "shutdown")
+        engine.run()
+        assert proc.value == "shutdown"
+
+    def test_stop_finished_is_noop(self, engine):
+        def worker():
+            yield engine.timeout(1.0)
+            return "done"
+        proc = engine.process(worker())
+        engine.run()
+        stop_process(proc)
+        assert proc.value == "done"
+
+    def test_stop_twice_is_safe(self, engine):
+        def worker():
+            yield engine.timeout(1.0)
+        proc = engine.process(worker())
+        stop_process(proc)
+        stop_process(proc)
+        engine.run()
+        assert proc.processed

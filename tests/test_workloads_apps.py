@@ -1,0 +1,100 @@
+"""Unit tests for the NPB application models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.workloads.apps import APP_MODELS, APP_NAMES, build_app, get_app_model
+
+SPEC = SKYLAKE_6126_NODE
+
+
+class TestCatalogue:
+    def test_nine_apps_is_omitted(self):
+        assert len(APP_NAMES) == 9
+        assert "IS" not in APP_NAMES  # §4.1: IS does not compile past class C
+        assert set(APP_NAMES) == {"BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "DC"}
+
+    def test_runtime_band_matches_paper(self):
+        # §4.1: every app >= 40 s, all but one >= two minutes.
+        runtimes = {name: APP_MODELS[name].nominal_runtime_s for name in APP_NAMES}
+        assert all(rt >= 40.0 for rt in runtimes.values())
+        under_two_minutes = [name for name, rt in runtimes.items() if rt < 120.0]
+        assert len(under_two_minutes) == 1
+
+    def test_cycle_fractions_sum_to_one(self):
+        for model in APP_MODELS.values():
+            assert sum(t.runtime_fraction for t in model.cycle) == pytest.approx(1.0)
+
+    def test_power_diversity(self):
+        # EP is the hungriest; DC the most modest (the system's donor).
+        means = {n: APP_MODELS[n].mean_demand_w_per_socket for n in APP_NAMES}
+        assert max(means, key=means.get) == "EP"
+        assert min(means, key=means.get) == "DC"
+
+    def test_get_app_model_case_insensitive(self):
+        assert get_app_model("ep").name == "EP"
+
+    def test_get_app_model_unknown(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            get_app_model("IS")
+
+
+class TestBuildApp:
+    def test_nominal_instance_is_deterministic(self):
+        a, b = build_app("FT"), build_app("FT")
+        assert a.total_work_s == b.total_work_s
+        assert [p.demand_w_per_socket for p in a.phases] == [
+            p.demand_w_per_socket for p in b.phases
+        ]
+
+    def test_nominal_runtime_matches_model(self):
+        for name in APP_NAMES:
+            workload = build_app(name)
+            assert workload.total_work_s == pytest.approx(
+                APP_MODELS[name].nominal_runtime_s
+            )
+
+    def test_scale_shrinks_runtime(self):
+        full = build_app("LU")
+        short = build_app("LU", scale=0.1)
+        assert short.total_work_s == pytest.approx(full.total_work_s * 0.1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_app("LU", scale=0.0)
+
+    def test_jitter_perturbs_instances(self):
+        rng = np.random.default_rng(0)
+        a = build_app("CG", rng=rng)
+        b = build_app("CG", rng=rng)
+        assert a.total_work_s != b.total_work_s
+
+    def test_jitter_reproducible_from_seed(self):
+        a = build_app("CG", rng=np.random.default_rng(5))
+        b = build_app("CG", rng=np.random.default_rng(5))
+        assert a.total_work_s == b.total_work_s
+
+    def test_jitter_is_bounded(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            workload = build_app("SP", rng=rng)
+            assert workload.total_work_s == pytest.approx(280.0, rel=0.06)
+
+    def test_jitter_disabled(self):
+        workload = build_app("CG", rng=np.random.default_rng(0), jitter=False)
+        assert workload.total_work_s == pytest.approx(210.0)
+
+    def test_phase_count(self):
+        model = APP_MODELS["BT"]
+        workload = build_app("BT")
+        assert workload.n_phases == model.n_cycles * len(model.cycle)
+
+    def test_demands_within_physical_range(self):
+        for name in APP_NAMES:
+            workload = build_app(name, rng=np.random.default_rng(2))
+            for phase in workload.phases:
+                demand = phase.demand_w(SPEC)
+                assert SPEC.idle_w <= demand <= SPEC.max_cap_w

@@ -1,0 +1,106 @@
+"""Tests for trace/workload persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.workloads.apps import APP_NAMES, build_app
+from repro.workloads.io import (
+    load_trace_csv,
+    load_workload_json,
+    save_trace_csv,
+    save_workload_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.traces import PowerTrace, trace_from_workload
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path):
+        trace = trace_from_workload(build_app("FT"), SKYLAKE_6126_NODE)
+        path = tmp_path / "ft.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.watts, trace.watts)
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(
+            PowerTrace(times=np.array([0.0]), watts=np.array([42.0])), path
+        )
+        assert path.read_text().splitlines()[0] == "time_s,demand_w"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("time_s,demand_w\n")
+        with pytest.raises(ValueError, match="no data"):
+            load_trace_csv(path)
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,demand_w\n0.0,100.0\nnot_a_number,5\n")
+        with pytest.raises(ValueError, match=":3"):
+            load_trace_csv(path)
+
+    def test_loaded_trace_validated(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("time_s,demand_w\n0.0,-5.0\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+    @given(
+        levels=st.lists(st.floats(0.0, 500.0), min_size=1, max_size=20),
+        gaps=st.lists(st.floats(0.001, 100.0), min_size=0, max_size=19),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, tmp_path_factory, levels, gaps):
+        n = min(len(levels), len(gaps) + 1)
+        times = np.concatenate(([0.0], np.cumsum(gaps[: n - 1])))
+        trace = PowerTrace(times=times, watts=np.array(levels[:n]))
+        path = tmp_path_factory.mktemp("traces") / "prop.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.watts, trace.watts)
+
+
+class TestWorkloadJson:
+    def test_roundtrip_all_apps(self, tmp_path):
+        for name in APP_NAMES:
+            workload = build_app(name, rng=np.random.default_rng(1))
+            path = tmp_path / f"{name}.json"
+            save_workload_json(workload, path)
+            loaded = load_workload_json(path)
+            assert loaded == workload
+
+    def test_dict_roundtrip(self):
+        workload = build_app("CG")
+        assert workload_from_dict(workload_to_dict(workload)) == workload
+
+    def test_schema_checked(self):
+        data = workload_to_dict(build_app("CG"))
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            workload_from_dict(data)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            workload_from_dict({"schema": 1, "app": "X", "phases": [{}]})
+
+    def test_phase_validation_still_applies(self):
+        data = workload_to_dict(build_app("CG"))
+        data["phases"][0]["work_s"] = -1.0
+        with pytest.raises(ValueError):
+            workload_from_dict(data)

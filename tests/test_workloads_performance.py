@@ -1,0 +1,81 @@
+"""Unit tests for the power-to-performance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.workloads.performance import (
+    SPEED_FLOOR,
+    consumed_power_w,
+    runtime_at_constant_cap,
+    speed_under_cap,
+)
+from repro.workloads.phases import Phase, Workload
+
+
+class TestSpeedUnderCap:
+    def test_uncapped_runs_full_speed(self):
+        assert speed_under_cap(250.0, 200.0, 30.0, beta=0.8) == 1.0
+        assert speed_under_cap(200.0, 200.0, 30.0, beta=0.8) == 1.0
+
+    def test_speed_decreases_with_cap(self):
+        speeds = [
+            speed_under_cap(cap, 200.0, 30.0, beta=0.8)
+            for cap in (190.0, 150.0, 100.0, 60.0)
+        ]
+        assert speeds == sorted(speeds, reverse=True)
+        assert all(SPEED_FLOOR <= s < 1.0 for s in speeds)
+
+    def test_floor_applies(self):
+        assert speed_under_cap(30.0, 200.0, 30.0, beta=0.8) == SPEED_FLOOR
+        assert speed_under_cap(0.0, 200.0, 30.0, beta=0.8) == SPEED_FLOOR
+
+    def test_beta_one_is_linear_in_headroom(self):
+        speed = speed_under_cap(115.0, 200.0, 30.0, beta=1.0)
+        assert speed == pytest.approx((115.0 - 30.0) / (200.0 - 30.0))
+
+    def test_smaller_beta_is_less_sensitive(self):
+        compute = speed_under_cap(100.0, 200.0, 30.0, beta=0.95)
+        memory = speed_under_cap(100.0, 200.0, 30.0, beta=0.40)
+        assert memory > compute  # memory-bound suffers less from capping
+
+    def test_idle_demand_never_throttled(self):
+        assert speed_under_cap(60.0, 30.0, 30.0, beta=0.8) == 1.0
+        assert speed_under_cap(60.0, 20.0, 30.0, beta=0.8) == 1.0
+
+
+class TestConsumedPower:
+    def test_uncapped_draws_demand(self):
+        assert consumed_power_w(250.0, 180.0, 30.0) == 180.0
+
+    def test_capped_draws_cap(self):
+        assert consumed_power_w(100.0, 180.0, 30.0) == 100.0
+
+    def test_idle_floor(self):
+        assert consumed_power_w(100.0, 10.0, 30.0) == 30.0
+        assert consumed_power_w(10.0, 180.0, 30.0) == 30.0
+
+
+class TestRuntimeClosedForm:
+    def test_uncapped_equals_total_work(self):
+        workload = Workload(
+            app="W",
+            phases=(Phase("a", 10.0, 100.0, 0.8), Phase("b", 5.0, 50.0, 0.4)),
+        )
+        runtime = runtime_at_constant_cap(workload, 250.0, SKYLAKE_6126_NODE)
+        assert runtime == pytest.approx(15.0)
+
+    def test_capped_is_slower(self):
+        workload = Workload(app="W", phases=(Phase("a", 10.0, 110.0, 0.9),))
+        fast = runtime_at_constant_cap(workload, 240.0, SKYLAKE_6126_NODE)
+        slow = runtime_at_constant_cap(workload, 120.0, SKYLAKE_6126_NODE)
+        assert slow > fast
+
+    def test_monotone_in_cap(self):
+        workload = Workload(app="W", phases=(Phase("a", 10.0, 110.0, 0.9),))
+        runtimes = [
+            runtime_at_constant_cap(workload, cap, SKYLAKE_6126_NODE)
+            for cap in (60.0, 100.0, 140.0, 180.0, 220.0)
+        ]
+        assert runtimes == sorted(runtimes, reverse=True)

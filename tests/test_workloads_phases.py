@@ -1,0 +1,85 @@
+"""Unit tests for phases and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.workloads.phases import Phase, Workload, concatenate
+
+SPEC = SKYLAKE_6126_NODE
+
+
+def make_workload():
+    return Workload(
+        app="X",
+        phases=(
+            Phase("a", work_s=10.0, demand_w_per_socket=100.0, beta=0.8),
+            Phase("b", work_s=5.0, demand_w_per_socket=50.0, beta=0.4),
+        ),
+    )
+
+
+class TestPhase:
+    def test_node_level_demand(self):
+        phase = Phase("p", work_s=1.0, demand_w_per_socket=100.0)
+        assert phase.demand_w(SPEC) == 200.0
+
+    def test_demand_clipped_to_physical_limits(self):
+        low = Phase("low", work_s=1.0, demand_w_per_socket=5.0)
+        high = Phase("high", work_s=1.0, demand_w_per_socket=500.0)
+        assert low.demand_w(SPEC) == SPEC.idle_w
+        assert high.demand_w(SPEC) == SPEC.max_cap_w
+
+    @pytest.mark.parametrize("bad", [dict(work_s=0), dict(work_s=-1),
+                                     dict(demand_w_per_socket=0),
+                                     dict(beta=0.0), dict(beta=2.5)])
+    def test_validation(self, bad):
+        kwargs = dict(name="p", work_s=1.0, demand_w_per_socket=100.0, beta=0.7)
+        kwargs.update(bad)
+        with pytest.raises(ValueError):
+            Phase(**kwargs)
+
+
+class TestWorkload:
+    def test_total_work(self):
+        assert make_workload().total_work_s == 15.0
+
+    def test_n_phases(self):
+        assert make_workload().n_phases == 2
+
+    def test_peak_and_mean_demand(self):
+        workload = make_workload()
+        assert workload.peak_demand_w(SPEC) == 200.0
+        expected_mean = (200.0 * 10 + 100.0 * 5) / 15
+        assert workload.mean_demand_w(SPEC) == pytest.approx(expected_mean)
+
+    def test_iter_timeline(self):
+        starts = [start for start, _ in make_workload().iter_timeline()]
+        assert starts == [0.0, 10.0]
+
+    def test_phase_at_full_speed_time(self):
+        workload = make_workload()
+        assert workload.phase_at_full_speed_time(0.0).name == "a"
+        assert workload.phase_at_full_speed_time(9.99).name == "a"
+        assert workload.phase_at_full_speed_time(10.0).name == "b"
+        assert workload.phase_at_full_speed_time(1e9).name == "b"  # clamped
+
+    def test_phase_at_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload().phase_at_full_speed_time(-1.0)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(app="E", phases=())
+
+
+class TestConcatenate:
+    def test_back_to_back(self):
+        combined = concatenate("JOBS", [make_workload(), make_workload()])
+        assert combined.n_phases == 4
+        assert combined.total_work_s == 30.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate("E", [])

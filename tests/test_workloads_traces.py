@@ -1,0 +1,109 @@
+"""Unit tests for power traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.power.domain import SKYLAKE_6126_NODE
+from repro.workloads.apps import build_app
+from repro.workloads.traces import (
+    PowerTrace,
+    constant_trace,
+    step_release_trace,
+    trace_from_workload,
+)
+
+SPEC = SKYLAKE_6126_NODE
+
+
+def simple_trace():
+    return PowerTrace(times=np.array([0.0, 2.0, 5.0]), watts=np.array([100.0, 50.0, 30.0]))
+
+
+class TestPowerTrace:
+    def test_demand_lookup(self):
+        trace = simple_trace()
+        assert trace.demand_at(0.0) == 100.0
+        assert trace.demand_at(1.99) == 100.0
+        assert trace.demand_at(2.0) == 50.0
+        assert trace.demand_at(100.0) == 30.0
+
+    def test_next_change_after(self):
+        trace = simple_trace()
+        assert trace.next_change_after(0.0) == 2.0
+        assert trace.next_change_after(2.0) == 5.0
+        assert trace.next_change_after(5.0) == float("inf")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            simple_trace().demand_at(-1.0)
+
+    def test_mean_power(self):
+        trace = simple_trace()
+        # 2s@100 + 3s@50 + 5s@30 over 10 s
+        assert trace.mean_power_w(10.0) == pytest.approx((200 + 150 + 150) / 10)
+
+    def test_mean_power_partial_window(self):
+        assert simple_trace().mean_power_w(2.0) == pytest.approx(100.0)
+
+    def test_shifted(self):
+        shifted = simple_trace().shifted(3.0)
+        assert shifted.demand_at(0.0) == 100.0
+        assert shifted.demand_at(4.0) == 100.0
+        assert shifted.demand_at(5.5) == 50.0
+
+    def test_shift_zero_returns_self(self):
+        trace = simple_trace()
+        assert trace.shifted(0.0) is trace
+
+    def test_window(self):
+        window = simple_trace().window(1.0, 3.0)
+        assert window.demand_at(0.0) == 100.0
+        assert window.demand_at(1.5) == 50.0
+        assert window.duration_s <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([1.0]), watts=np.array([5.0]))  # t0 != 0
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([0.0, 0.0]), watts=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([0.0]), watts=np.array([-1.0]))
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([]), watts=np.array([]))
+
+
+class TestBuilders:
+    def test_constant_trace(self):
+        trace = constant_trace(42.0)
+        assert trace.demand_at(0.0) == 42.0
+        assert trace.demand_at(1e6) == 42.0
+
+    def test_step_release_trace(self):
+        trace = step_release_trace(busy_w=190.0, finish_at_s=5.0, idle_w=30.0)
+        assert trace.demand_at(4.99) == 190.0
+        assert trace.demand_at(5.0) == 30.0
+
+    def test_step_release_validation(self):
+        with pytest.raises(ValueError):
+            step_release_trace(busy_w=10.0, finish_at_s=5.0, idle_w=30.0)
+        with pytest.raises(ValueError):
+            step_release_trace(busy_w=100.0, finish_at_s=0.0, idle_w=30.0)
+
+    def test_trace_from_workload_profiles_phases(self):
+        workload = build_app("FT")
+        trace = trace_from_workload(workload, SPEC)
+        # Demand at t=0 equals the first phase's node demand.
+        assert trace.demand_at(0.0) == workload.phases[0].demand_w(SPEC)
+        # The trace ends in the idle state after the workload completes.
+        assert trace.demand_at(workload.total_work_s + 1.0) == SPEC.idle_w
+        assert trace.duration_s == pytest.approx(workload.total_work_s)
+
+    def test_trace_from_workload_preserves_energy(self):
+        workload = build_app("CG")
+        trace = trace_from_workload(workload, SPEC)
+        total = workload.total_work_s
+        assert trace.mean_power_w(total) == pytest.approx(
+            workload.mean_demand_w(SPEC)
+        )

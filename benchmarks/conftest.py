@@ -13,6 +13,12 @@ caps; 1056 simulated nodes) -- expect an hour or more.
 Every benchmark writes its regenerated table to
 ``benchmarks/results/<figure>.txt`` so the output survives pytest's
 capture.
+
+Set ``REPRO_BENCH_JOBS=N`` to fan the shared sweeps out over N worker
+processes (results are identical to serial runs by construction; see
+:mod:`repro.experiments.runner`).  A session-wide progress subscriber
+counts every run the sweep runner executes and reports the tally at the
+end of the session.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments import runner
 from repro.experiments.scaling import (
     ScalingSpec,
     sweep_frequency,
@@ -31,8 +38,27 @@ from repro.experiments.scaling import (
 from repro.managers.slurm import SlurmConfig
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+#: Worker processes for the shared sweeps (1 = in-process, the default).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def sweep_run_counter():
+    """Count every run the sweep runner executes during the session."""
+    counts = {"executed": 0, "cached": 0}
+
+    def _count(event: runner.ProgressEvent) -> None:
+        counts["cached" if event.cached else "executed"] += 1
+
+    runner.add_progress_listener(_count)
+    yield counts
+    runner.remove_progress_listener(_count)
+    print(
+        f"\n[sweep runner] {counts['executed']} runs executed, "
+        f"{counts['cached']} cache hits"
+    )
 
 
 def save_figure(name: str, text: str) -> None:
@@ -107,6 +133,7 @@ def frequency_sweep():
             n_clients=FREQ_SWEEP_NODES,
             managers=("penelope",),
             seed=0,
+            jobs=JOBS,
         )
     )
     results.update(
@@ -116,6 +143,7 @@ def frequency_sweep():
             managers=("slurm",),
             seed=0,
             base=replace(base, manager="slurm"),
+            jobs=JOBS,
         )
     )
     return results
@@ -130,4 +158,5 @@ def scale_sweep():
         managers=("penelope", "slurm"),
         seed=0,
         observe_for_s=40.0,
+        jobs=JOBS,
     )

@@ -4,12 +4,16 @@ Examples::
 
     python -m repro overhead --scale 1.0
     python -m repro nominal  --caps 60 80 100 --pairs EP:DC CG:LU --clients 8
-    python -m repro faulty   --scale 0.25
+    python -m repro nominal  --jobs 8                 # parallel sweep
+    python -m repro faulty   --scale 0.25 --no-cache
     python -m repro scaling-frequency --clients 264 --freqs 1 5 10 20
     python -m repro scaling-scale     --scales 44 132 264
 
 Full paper-sized sweeps take minutes; every command accepts reduced
-parameters for a quick look.
+parameters for a quick look.  Sweep commands take ``--jobs N`` to fan
+runs out over worker processes, and cache finished runs under
+``--cache-dir`` (default ``.repro-cache/``; disable with ``--no-cache``)
+so an interrupted or repeated sweep only executes what is missing.
 """
 
 from __future__ import annotations
@@ -28,6 +32,12 @@ from repro.experiments.report import (
     format_nominal,
     format_overhead,
     format_scale_figures,
+    print_progress,
+)
+from repro.experiments.runner import (
+    DEFAULT_CACHE_DIR,
+    add_progress_listener,
+    remove_progress_listener,
 )
 from repro.experiments.scaling import (
     PAPER_FREQUENCIES_HZ,
@@ -35,6 +45,47 @@ from repro.experiments.scaling import (
     sweep_frequency,
     sweep_scale,
 )
+
+#: Subcommands that fan out through the sweep runner.
+SWEEP_COMMANDS = (
+    "nominal",
+    "faulty",
+    "scaling-frequency",
+    "scaling-scale",
+    "multijob",
+    "allocation",
+)
+
+
+def _jobs(value: str) -> int:
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {jobs}")
+    return jobs
+
+
+def _add_runner_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--jobs",
+        type=_jobs,
+        default=1,
+        help="worker processes for the sweep (1 = in-process; 0 = all CPUs)",
+    )
+    cmd.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
 
 
 def _parse_pairs(values: Optional[Sequence[str]]) -> Optional[List[Tuple[str, str]]]:
@@ -78,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--clients", type=int, default=20)
         cmd.add_argument("--scale", type=float, default=1.0, help="workload scale")
         cmd.add_argument("--seed", type=int, default=0)
+        _add_runner_args(cmd)
 
     freq = sub.add_parser("scaling-frequency", help="§4.5 / Figures 4, 5, 7")
     freq.add_argument(
@@ -85,11 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     freq.add_argument("--clients", type=int, default=1056)
     freq.add_argument("--seed", type=int, default=0)
+    _add_runner_args(freq)
 
     scale = sub.add_parser("scaling-scale", help="§4.5 / Figures 6, 8")
     scale.add_argument("--scales", type=int, nargs="+", default=list(PAPER_SCALES))
     scale.add_argument("--freq", type=float, default=1.0)
     scale.add_argument("--seed", type=int, default=0)
+    _add_runner_args(scale)
 
     multijob = sub.add_parser(
         "multijob",
@@ -118,6 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
     allocation.add_argument(
         "--managers", nargs="+", default=["fair", "slurm", "penelope"]
     )
+    _add_runner_args(multijob)
+    _add_runner_args(allocation)
 
     return parser
 
@@ -126,6 +182,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     started = time.time()
 
+    runner_kwargs: dict = {}
+    if args.command in SWEEP_COMMANDS:
+        runner_kwargs = dict(
+            jobs=None if args.jobs == 0 else args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+        add_progress_listener(print_progress)
+    try:
+        return _dispatch(args, runner_kwargs)
+    finally:
+        if args.command in SWEEP_COMMANDS:
+            remove_progress_listener(print_progress)
+        print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
+
+
+def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
     if args.command == "overhead":
         result = run_overhead_experiment(
             cap_w_per_socket=args.cap, seed=args.seed, workload_scale=args.scale
@@ -138,6 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_clients=args.clients,
             seed=args.seed,
             workload_scale=args.scale,
+            **runner_kwargs,
         )
         print(format_nominal(result))
     elif args.command == "faulty":
@@ -147,18 +221,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_clients=args.clients,
             seed=args.seed,
             workload_scale=args.scale,
+            **runner_kwargs,
         )
         print(format_faulty(result))
     elif args.command == "scaling-frequency":
         results = sweep_frequency(
-            frequencies_hz=args.freqs, n_clients=args.clients, seed=args.seed
+            frequencies_hz=args.freqs, n_clients=args.clients, seed=args.seed,
+            **runner_kwargs,
         )
         for text in format_frequency_figures(results).values():
             print(text)
             print()
     elif args.command == "scaling-scale":
         results = sweep_scale(
-            scales=args.scales, frequency_hz=args.freq, seed=args.seed
+            scales=args.scales, frequency_hz=args.freq, seed=args.seed,
+            **runner_kwargs,
         )
         for text in format_scale_figures(results).values():
             print(text)
@@ -175,6 +252,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cap_w_per_socket=args.cap,
             seed=args.seed,
             workload_scale=args.scale,
+            **runner_kwargs,
         )
         print(format_multijob(comparison))
     elif args.command == "allocation":
@@ -190,12 +268,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workload_scale=args.scale,
             observe_s=args.observe,
             seed=args.seed,
+            **runner_kwargs,
         )
         print(format_allocation(traces))
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")
-
-    print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
     return 0
 
 

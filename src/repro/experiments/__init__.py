@@ -6,6 +6,8 @@
 * :mod:`repro.experiments.nominal` -- §4.3 / Figure 2.
 * :mod:`repro.experiments.faulty` -- §4.4 / Figure 3.
 * :mod:`repro.experiments.scaling` -- §4.5 / Figures 4-8.
+* :mod:`repro.experiments.runner` -- parallel sweep executor + result cache.
+* :mod:`repro.experiments.serialize` -- JSON codecs for specs and results.
 * :mod:`repro.experiments.report` -- text tables in the paper's format.
 """
 
@@ -20,13 +22,27 @@ from repro.experiments.metrics import (
     redistribution_time_s,
     turnaround_summary,
 )
+from repro.experiments.runner import (
+    ProgressEvent,
+    TaskKind,
+    add_progress_listener,
+    remove_progress_listener,
+    run_sweep,
+    spec_fingerprint,
+)
 
 __all__ = [
     "MANAGER_FACTORIES",
+    "ProgressEvent",
     "RunResult",
     "RunSpec",
+    "TaskKind",
+    "add_progress_listener",
     "redistribution_events",
     "redistribution_time_s",
+    "remove_progress_listener",
     "run_single",
+    "run_sweep",
+    "spec_fingerprint",
     "turnaround_summary",
 ]

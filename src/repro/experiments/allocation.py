@@ -16,11 +16,14 @@ yardstick for everyone else:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments import serialize
 from repro.experiments.harness import RunSpec, build_run
+from repro.experiments.runner import ProgressListener, TaskKind, run_sweep
+from repro.managers.base import ManagerConfig
 from repro.managers.podd import proportional_caps
 
 
@@ -65,34 +68,43 @@ def oracle_allocation(cluster, client_ids: Sequence[int], budget_w: float) -> Di
     return proportional_caps(demands, budget_w, spec.min_cap_w, spec.max_cap_w)
 
 
-def measure_allocation_trace(
-    manager_name: str,
-    pair: Tuple[str, str] = ("EP", "DC"),
-    cap_w_per_socket: float = 65.0,
-    n_clients: int = 10,
-    seed: int = 0,
-    workload_scale: float = 0.5,
-    observe_s: float = 30.0,
-    sample_every_s: float = 1.0,
-    manager_config=None,
-) -> AllocationTrace:
-    """Run ``manager_name`` and sample its caps' distance to the oracle.
+@dataclass(frozen=True)
+class AllocationSpec:
+    """One allocation-quality measurement, fully described."""
 
-    Observation stops at ``observe_s`` (well before any workload ends, so
-    the oracle stays meaningful throughout).
+    manager: str
+    pair: Tuple[str, str] = ("EP", "DC")
+    cap_w_per_socket: float = 65.0
+    n_clients: int = 10
+    seed: int = 0
+    workload_scale: float = 0.5
+    observe_s: float = 30.0
+    sample_every_s: float = 1.0
+    manager_config: Optional[ManagerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.observe_s <= 0 or self.sample_every_s <= 0:
+            raise ValueError("observation times must be positive")
+
+
+def run_allocation_point(spec: AllocationSpec) -> AllocationTrace:
+    """Run ``spec.manager`` and sample its caps' distance to the oracle.
+
+    Observation stops at ``spec.observe_s`` (well before any workload
+    ends, so the oracle stays meaningful throughout).
     """
-    spec = RunSpec(
-        manager_name,
-        pair,
-        cap_w_per_socket,
-        n_clients=n_clients,
-        seed=seed,
-        workload_scale=workload_scale,
-        manager_config=manager_config,
+    run_spec = RunSpec(
+        spec.manager,
+        spec.pair,
+        spec.cap_w_per_socket,
+        n_clients=spec.n_clients,
+        seed=spec.seed,
+        workload_scale=spec.workload_scale,
+        manager_config=spec.manager_config,
     )
-    engine, cluster, manager = build_run(spec)
-    oracle = oracle_allocation(cluster, manager.client_ids, spec.budget_w)
-    even = spec.budget_w / n_clients
+    engine, cluster, manager = build_run(run_spec)
+    oracle = oracle_allocation(cluster, manager.client_ids, run_spec.budget_w)
+    even = run_spec.budget_w / spec.n_clients
     even_deviation = float(
         np.mean([abs(even - oracle[node]) for node in manager.client_ids])
     )
@@ -101,8 +113,8 @@ def measure_allocation_trace(
     times: List[float] = []
     deviations: List[float] = []
     t = 0.0
-    while t < observe_s:
-        t += sample_every_s
+    while t < spec.observe_s:
+        t += spec.sample_every_s
         engine.run(until=t)
         deviation = float(
             np.mean(
@@ -116,7 +128,7 @@ def measure_allocation_trace(
         deviations.append(deviation)
     manager.audit().check()
     return AllocationTrace(
-        manager=manager_name,
+        manager=spec.manager,
         times=np.array(times),
         mean_abs_deviation_w=np.array(deviations),
         oracle=oracle,
@@ -124,15 +136,125 @@ def measure_allocation_trace(
     )
 
 
+def measure_allocation_trace(
+    manager_name: str,
+    pair: Tuple[str, str] = ("EP", "DC"),
+    cap_w_per_socket: float = 65.0,
+    n_clients: int = 10,
+    seed: int = 0,
+    workload_scale: float = 0.5,
+    observe_s: float = 30.0,
+    sample_every_s: float = 1.0,
+    manager_config=None,
+) -> AllocationTrace:
+    """Keyword-style wrapper around :func:`run_allocation_point`."""
+    return run_allocation_point(
+        AllocationSpec(
+            manager=manager_name,
+            pair=tuple(pair),
+            cap_w_per_socket=cap_w_per_socket,
+            n_clients=n_clients,
+            seed=seed,
+            workload_scale=workload_scale,
+            observe_s=observe_s,
+            sample_every_s=sample_every_s,
+            manager_config=manager_config,
+        )
+    )
+
+
+# -- sweep-runner integration ------------------------------------------------
+
+
+def allocation_spec_to_dict(spec: AllocationSpec) -> Dict[str, Any]:
+    return {
+        "manager": spec.manager,
+        "pair": list(spec.pair),
+        "cap_w_per_socket": spec.cap_w_per_socket,
+        "n_clients": spec.n_clients,
+        "seed": spec.seed,
+        "workload_scale": spec.workload_scale,
+        "observe_s": spec.observe_s,
+        "sample_every_s": spec.sample_every_s,
+        "manager_config": (
+            serialize.config_to_dict(spec.manager_config)
+            if spec.manager_config is not None
+            else None
+        ),
+    }
+
+
+def allocation_spec_from_dict(data: Dict[str, Any]) -> AllocationSpec:
+    return AllocationSpec(
+        manager=data["manager"],
+        pair=tuple(data["pair"]),
+        cap_w_per_socket=data["cap_w_per_socket"],
+        n_clients=data["n_clients"],
+        seed=data["seed"],
+        workload_scale=data["workload_scale"],
+        observe_s=data["observe_s"],
+        sample_every_s=data["sample_every_s"],
+        manager_config=(
+            serialize.config_from_dict(data["manager_config"])
+            if data["manager_config"] is not None
+            else None
+        ),
+    )
+
+
+def allocation_trace_to_dict(trace: AllocationTrace) -> Dict[str, Any]:
+    return {
+        "manager": trace.manager,
+        "times": [float(t) for t in trace.times],
+        "mean_abs_deviation_w": [float(d) for d in trace.mean_abs_deviation_w],
+        "oracle": {str(node): cap for node, cap in sorted(trace.oracle.items())},
+        "even_split_deviation_w": trace.even_split_deviation_w,
+    }
+
+
+def allocation_trace_from_dict(data: Dict[str, Any]) -> AllocationTrace:
+    return AllocationTrace(
+        manager=data["manager"],
+        times=np.array(data["times"]),
+        mean_abs_deviation_w=np.array(data["mean_abs_deviation_w"]),
+        oracle={int(node): cap for node, cap in data["oracle"].items()},
+        even_split_deviation_w=data["even_split_deviation_w"],
+    )
+
+
+#: :func:`run_allocation_point` as a sweep-runner task kind.
+ALLOCATION_RUN = TaskKind(
+    name="allocation",
+    fn=run_allocation_point,
+    spec_to_dict=allocation_spec_to_dict,
+    result_to_dict=allocation_trace_to_dict,
+    result_from_dict=allocation_trace_from_dict,
+)
+
+
 def compare_allocation_quality(
     managers: Sequence[str] = ("fair", "slurm", "penelope"),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressListener] = None,
     **kwargs,
 ) -> Dict[str, AllocationTrace]:
-    """Allocation traces for several managers under identical conditions."""
-    return {
-        manager: measure_allocation_trace(manager, **kwargs)
-        for manager in managers
-    }
+    """Allocation traces for several managers under identical conditions.
+
+    One spec per manager, fanned out (and cached) through
+    :func:`~repro.experiments.runner.run_sweep`.
+    """
+    specs = [AllocationSpec(manager=manager, **kwargs) for manager in managers]
+    traces = run_sweep(
+        specs,
+        kind=ALLOCATION_RUN,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+    return dict(zip(managers, traces))
 
 
 def format_allocation(traces: Dict[str, AllocationTrace]) -> str:

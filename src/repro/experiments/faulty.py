@@ -20,7 +20,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.stats import geometric_mean, normalized_performance
 from repro.cluster.faults import FaultPlan
-from repro.experiments.harness import RunSpec, needs_server_node, run_single
+from repro.experiments.harness import RunSpec, needs_server_node
+from repro.experiments.runner import ProgressListener, run_sweep
 from repro.workloads.apps import APP_NAMES, build_app
 from repro.workloads.generator import unique_pairs
 from repro.workloads.performance import runtime_at_constant_cap
@@ -114,15 +115,28 @@ def run_faulty_sweep(
     seed: int = 0,
     workload_scale: float = 1.0,
     failure_fraction: float = DEFAULT_FAILURE_FRACTION,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressListener] = None,
 ) -> FaultyResult:
-    """Run the Figure 3 sweep: every run suffers its §4.4 failure."""
+    """Run the Figure 3 sweep: every run suffers its §4.4 failure.
+
+    The failure instant comes from the *predicted* Fair runtime (a closed
+    form), not the measured one, so the whole sweep -- Fair baselines and
+    faulted runs alike -- is known up-front and fans out through
+    :func:`~repro.experiments.runner.run_sweep` (``jobs`` worker
+    processes, results cached under ``cache_dir``).
+    """
     pair_list = list(pairs) if pairs is not None else unique_pairs(APP_NAMES)
     result = FaultyResult(
         caps=tuple(caps), systems=tuple(systems), pairs=tuple(pair_list)
     )
+    specs: list = []
+    slots: list = []
     for cap in caps:
         for pair in pair_list:
-            fair = run_single(
+            specs.append(
                 RunSpec(
                     manager="fair",
                     pair=pair,
@@ -132,7 +146,7 @@ def run_faulty_sweep(
                     workload_scale=workload_scale,
                 )
             )
-            result.fair_runtimes[(cap, pair)] = fair.runtime_s
+            slots.append(("fair", cap, pair))
             for system in systems:
                 plan = fault_plan_for(
                     system,
@@ -142,7 +156,7 @@ def run_faulty_sweep(
                     workload_scale=workload_scale,
                     failure_fraction=failure_fraction,
                 )
-                run = run_single(
+                specs.append(
                     RunSpec(
                         manager=system,
                         pair=pair,
@@ -153,6 +167,23 @@ def run_faulty_sweep(
                         fault_plan=plan,
                     )
                 )
+                slots.append((system, cap, pair))
+
+    runs = run_sweep(
+        specs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+
+    by_slot = dict(zip(slots, runs))
+    for cap in caps:
+        for pair in pair_list:
+            fair = by_slot[("fair", cap, pair)]
+            result.fair_runtimes[(cap, pair)] = fair.runtime_s
+            for system in systems:
+                run = by_slot[(system, cap, pair)]
                 result.normalized[(system, cap, pair)] = normalized_performance(
                     run.runtime_s, fair.runtime_s
                 )

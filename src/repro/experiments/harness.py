@@ -27,14 +27,22 @@ from repro.sim.rng import RngRegistry
 from repro.workloads.generator import assign_pair_to_cluster
 
 #: manager name -> (factory taking an optional ManagerConfig,
-#:                  dedicated server nodes withheld beyond the clients)
-MANAGER_FACTORIES: Dict[str, Tuple[Callable[..., PowerManager], int]] = {
-    "fair": (FairManager, 0),
-    "penelope": (PenelopeManager, 0),
-    "slurm": (SlurmManager, 1),
-    "podd": (PoddManager, 1),
-    "slurm-ha": (HaSlurmManager, 2),
+#:                  dedicated server nodes withheld beyond the clients,
+#:                  config class the factory expects)
+MANAGER_FACTORIES: Dict[
+    str, Tuple[Callable[..., PowerManager], int, type]
+] = {
+    "fair": (FairManager, 0, ManagerConfig),
+    "penelope": (PenelopeManager, 0, PenelopeConfig),
+    "slurm": (SlurmManager, 1, SlurmConfig),
+    "podd": (PoddManager, 1, SlurmConfig),
+    "slurm-ha": (HaSlurmManager, 2, HaSlurmConfig),
 }
+
+
+def expected_config_type(name: str) -> type:
+    """The :class:`ManagerConfig` (sub)class ``name``'s factory expects."""
+    return MANAGER_FACTORIES[name][2]
 
 
 def make_manager(
@@ -42,21 +50,27 @@ def make_manager(
     config: Optional[ManagerConfig] = None,
     recorder: Optional[MetricsRecorder] = None,
 ) -> PowerManager:
-    """Instantiate a manager by name, with a type-checked config."""
+    """Instantiate a manager by name, with a type-checked config.
+
+    The config check is table-driven so every manager -- including Fair,
+    whose factory previously sat outside the per-name isinstance ladder --
+    gets the same treatment: a ``None`` config means factory defaults, a
+    config of the registered type (or a subclass) is passed through, and
+    anything else is a :class:`TypeError`.
+    """
     try:
-        factory, _ = MANAGER_FACTORIES[name]
+        factory, _, config_type = MANAGER_FACTORIES[name]
     except KeyError:
         raise KeyError(
             f"unknown manager {name!r}; choose from {sorted(MANAGER_FACTORIES)}"
         ) from None
     if config is None:
         return factory(recorder=recorder)
-    if name == "penelope" and not isinstance(config, PenelopeConfig):
-        raise TypeError("penelope requires a PenelopeConfig")
-    if name in ("slurm", "podd") and not isinstance(config, SlurmConfig):
-        raise TypeError(f"{name} requires a SlurmConfig")
-    if name == "slurm-ha" and not isinstance(config, HaSlurmConfig):
-        raise TypeError("slurm-ha requires an HaSlurmConfig")
+    if not isinstance(config, config_type):
+        raise TypeError(
+            f"{name} requires a {config_type.__name__}, "
+            f"got {type(config).__name__}"
+        )
     return factory(config=config, recorder=recorder)
 
 
@@ -92,6 +106,13 @@ class RunSpec:
             raise ValueError("need at least two client nodes for a pair")
         if self.cap_w_per_socket <= 0:
             raise ValueError("cap must be positive")
+        if self.manager_config is not None:
+            config_type = expected_config_type(self.manager)
+            if not isinstance(self.manager_config, config_type):
+                raise TypeError(
+                    f"{self.manager} requires a {config_type.__name__}, "
+                    f"got {type(self.manager_config).__name__}"
+                )
 
     @property
     def budget_w(self) -> float:

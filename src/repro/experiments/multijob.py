@@ -18,11 +18,13 @@ single-job Figure 3 runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.faults import FaultPlan
+from repro.experiments import serialize
 from repro.experiments.harness import extra_nodes, make_manager
+from repro.experiments.runner import ProgressListener, TaskKind, run_sweep
 from repro.instrumentation import MetricsRecorder
 from repro.managers.base import ManagerConfig
 from repro.sim.engine import Engine
@@ -70,6 +72,69 @@ class MultiJobResult:
         return 1.0 / self.runtime_s
 
 
+@dataclass(frozen=True)
+class MultiJobSpec:
+    """Everything needed to reproduce one back-to-back multi-job run."""
+
+    manager: str
+    n_clients: int = 10
+    cap_w_per_socket: float = 65.0
+    seed: int = 0
+    workload_scale: float = 1.0
+    sequences: Tuple[Tuple[str, ...], ...] = DEFAULT_SEQUENCES
+    fault_plan: Optional[FaultPlan] = None
+    manager_config: Optional[ManagerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError("need at least one client node")
+        if self.cap_w_per_socket <= 0:
+            raise ValueError("cap must be positive")
+        if not self.sequences:
+            raise ValueError("need at least one job sequence")
+
+
+def run_multijob_spec(spec: MultiJobSpec) -> MultiJobResult:
+    """Run the back-to-back schedule described by ``spec``."""
+    engine = Engine()
+    rngs = RngRegistry(seed=spec.seed)
+    extra = extra_nodes(spec.manager)
+    n_clients = spec.n_clients
+    budget = spec.cap_w_per_socket * 2 * n_clients
+    cluster = Cluster(
+        engine,
+        ClusterConfig(
+            n_nodes=n_clients + extra,
+            system_power_budget_w=budget * (n_clients + extra) / n_clients,
+        ),
+        rngs,
+    )
+    manager = make_manager(spec.manager, config=spec.manager_config)
+    workloads = build_sequences(
+        n_clients,
+        sequences=spec.sequences,
+        rngs=rngs,
+        workload_scale=spec.workload_scale,
+    )
+    for node_id, workload in workloads.items():
+        cluster.node(node_id).assign_workload(
+            workload, overhead_factor=manager.config.overhead_factor
+        )
+    manager.install(cluster, client_ids=list(range(n_clients)), budget_w=budget)
+    if spec.fault_plan is not None:
+        spec.fault_plan.install(cluster)
+    manager.start()
+    runtime = cluster.run_to_completion()
+    manager.audit().check()
+    manager.stop()
+    return MultiJobResult(
+        manager=spec.manager,
+        runtime_s=runtime,
+        faulted=spec.fault_plan is not None and not spec.fault_plan.is_empty,
+        recorder=manager.recorder,
+    )
+
+
 def run_multijob(
     manager_name: str,
     n_clients: int = 10,
@@ -80,40 +145,92 @@ def run_multijob(
     fault_plan: Optional[FaultPlan] = None,
     manager_config: Optional[ManagerConfig] = None,
 ) -> MultiJobResult:
-    """Run the back-to-back schedule under ``manager_name``."""
-    engine = Engine()
-    rngs = RngRegistry(seed=seed)
-    extra = extra_nodes(manager_name)
-    budget = cap_w_per_socket * 2 * n_clients
-    cluster = Cluster(
-        engine,
-        ClusterConfig(
-            n_nodes=n_clients + extra,
-            system_power_budget_w=budget * (n_clients + extra) / n_clients,
-        ),
-        rngs,
-    )
-    manager = make_manager(manager_name, config=manager_config)
-    workloads = build_sequences(
-        n_clients, sequences=sequences, rngs=rngs, workload_scale=workload_scale
-    )
-    for node_id, workload in workloads.items():
-        cluster.node(node_id).assign_workload(
-            workload, overhead_factor=manager.config.overhead_factor
+    """Keyword-style wrapper around :func:`run_multijob_spec`."""
+    return run_multijob_spec(
+        MultiJobSpec(
+            manager=manager_name,
+            n_clients=n_clients,
+            cap_w_per_socket=cap_w_per_socket,
+            seed=seed,
+            workload_scale=workload_scale,
+            sequences=tuple(tuple(sequence) for sequence in sequences),
+            fault_plan=fault_plan,
+            manager_config=manager_config,
         )
-    manager.install(cluster, client_ids=list(range(n_clients)), budget_w=budget)
-    if fault_plan is not None:
-        fault_plan.install(cluster)
-    manager.start()
-    runtime = cluster.run_to_completion()
-    manager.audit().check()
-    manager.stop()
-    return MultiJobResult(
-        manager=manager_name,
-        runtime_s=runtime,
-        faulted=fault_plan is not None and not fault_plan.is_empty,
-        recorder=manager.recorder,
     )
+
+
+# -- sweep-runner integration ------------------------------------------------
+
+
+def multijob_spec_to_dict(spec: MultiJobSpec) -> Dict[str, Any]:
+    return {
+        "manager": spec.manager,
+        "n_clients": spec.n_clients,
+        "cap_w_per_socket": spec.cap_w_per_socket,
+        "seed": spec.seed,
+        "workload_scale": spec.workload_scale,
+        "sequences": [list(sequence) for sequence in spec.sequences],
+        "fault_plan": (
+            serialize.fault_plan_to_dict(spec.fault_plan)
+            if spec.fault_plan is not None
+            else None
+        ),
+        "manager_config": (
+            serialize.config_to_dict(spec.manager_config)
+            if spec.manager_config is not None
+            else None
+        ),
+    }
+
+
+def multijob_spec_from_dict(data: Dict[str, Any]) -> MultiJobSpec:
+    return MultiJobSpec(
+        manager=data["manager"],
+        n_clients=data["n_clients"],
+        cap_w_per_socket=data["cap_w_per_socket"],
+        seed=data["seed"],
+        workload_scale=data["workload_scale"],
+        sequences=tuple(tuple(sequence) for sequence in data["sequences"]),
+        fault_plan=(
+            serialize.fault_plan_from_dict(data["fault_plan"])
+            if data["fault_plan"] is not None
+            else None
+        ),
+        manager_config=(
+            serialize.config_from_dict(data["manager_config"])
+            if data["manager_config"] is not None
+            else None
+        ),
+    )
+
+
+def multijob_result_to_dict(result: MultiJobResult) -> Dict[str, Any]:
+    return {
+        "manager": result.manager,
+        "runtime_s": result.runtime_s,
+        "faulted": result.faulted,
+        "recorder": serialize.recorder_to_dict(result.recorder),
+    }
+
+
+def multijob_result_from_dict(data: Dict[str, Any]) -> MultiJobResult:
+    return MultiJobResult(
+        manager=data["manager"],
+        runtime_s=data["runtime_s"],
+        faulted=data["faulted"],
+        recorder=serialize.recorder_from_dict(data["recorder"]),
+    )
+
+
+#: :func:`run_multijob_spec` as a sweep-runner task kind.
+MULTIJOB_RUN = TaskKind(
+    name="multijob",
+    fn=run_multijob_spec,
+    spec_to_dict=multijob_spec_to_dict,
+    result_to_dict=multijob_result_to_dict,
+    result_from_dict=multijob_result_from_dict,
+)
 
 
 @dataclass
@@ -140,43 +257,58 @@ def run_multijob_comparison(
     seed: int = 0,
     workload_scale: float = 1.0,
     fault_at_fraction: float = 0.25,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressListener] = None,
 ) -> MultiJobComparison:
     """The §4.4 generalization experiment.
 
     The fault strikes during job 1 (at ``fault_at_fraction`` of the Fair
     runtime), so the frozen caps are tuned for the *wrong* job afterwards.
+
+    Runs fan out through :func:`~repro.experiments.runner.run_sweep` in
+    two waves: the fault-free runs first (the fault instant depends on the
+    measured Fair runtime), then every faulted run.
     """
-    fair = run_multijob(
-        "fair",
-        n_clients=n_clients,
-        cap_w_per_socket=cap_w_per_socket,
-        seed=seed,
-        workload_scale=workload_scale,
-    )
-    nominal: Dict[str, float] = {}
-    faulty: Dict[str, float] = {}
-    for manager in managers:
-        nominal[manager] = run_multijob(
-            manager,
+
+    def base_spec(manager: str, fault_plan: Optional[FaultPlan] = None) -> MultiJobSpec:
+        return MultiJobSpec(
+            manager=manager,
             n_clients=n_clients,
             cap_w_per_socket=cap_w_per_socket,
             seed=seed,
             workload_scale=workload_scale,
-        ).runtime_s
-        fault_time = fault_at_fraction * fair.runtime_s
+            fault_plan=fault_plan,
+        )
+
+    sweep = dict(
+        kind=MULTIJOB_RUN, jobs=jobs, cache_dir=cache_dir,
+        use_cache=use_cache, progress=progress,
+    )
+    fault_free = run_sweep(
+        [base_spec("fair")] + [base_spec(manager) for manager in managers],
+        **sweep,
+    )
+    fair = fault_free[0]
+    nominal = {
+        manager: result.runtime_s
+        for manager, result in zip(managers, fault_free[1:])
+    }
+
+    fault_time = fault_at_fraction * fair.runtime_s
+    faulted_specs = []
+    for manager in managers:
         plan = FaultPlan()
         if extra_nodes(manager) > 0:
             plan.kill(n_clients, fault_time)  # the (first) server node
         else:
             plan.kill(0, fault_time)  # any client; none is special
-        faulty[manager] = run_multijob(
-            manager,
-            n_clients=n_clients,
-            cap_w_per_socket=cap_w_per_socket,
-            seed=seed,
-            workload_scale=workload_scale,
-            fault_plan=plan,
-        ).runtime_s
+        faulted_specs.append(base_spec(manager, fault_plan=plan))
+    faulty = {
+        manager: result.runtime_s
+        for manager, result in zip(managers, run_sweep(faulted_specs, **sweep))
+    }
     return MultiJobComparison(
         fair_runtime_s=fair.runtime_s, nominal=nominal, faulty=faulty
     )

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
 
 from repro.analysis.stats import geometric_mean, normalized_performance
-from repro.experiments.harness import RunSpec, run_single
+from repro.experiments.harness import RunSpec
+from repro.experiments.runner import ProgressListener, run_sweep
 from repro.workloads.apps import APP_NAMES
 from repro.workloads.generator import unique_pairs
 
@@ -76,6 +77,10 @@ def run_nominal_sweep(
     seed: int = 0,
     workload_scale: float = 1.0,
     repetitions: int = 1,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressListener] = None,
 ) -> NominalResult:
     """Run the full Figure 2 sweep (or a subset, for tests).
 
@@ -83,6 +88,11 @@ def run_nominal_sweep(
     share a seed, so they face identical workload jitter; ``repetitions``
     reruns each cell with derived seeds and stores the geomean, for
     tighter estimates.
+
+    Every run is independent, so the whole sweep is one flat spec list
+    handed to :func:`~repro.experiments.runner.run_sweep`: ``jobs`` fans
+    it out over worker processes and ``cache_dir`` skips already-computed
+    runs (see the runner's docs for both).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be at least 1")
@@ -90,40 +100,50 @@ def run_nominal_sweep(
     result = NominalResult(
         caps=tuple(caps), systems=tuple(systems), pairs=tuple(pair_list)
     )
+
+    def cell_spec(manager: str, cap: float, pair: Tuple[str, str], repetition: int) -> RunSpec:
+        return RunSpec(
+            manager=manager,
+            pair=pair,
+            cap_w_per_socket=cap,
+            n_clients=n_clients,
+            seed=seed + 7919 * repetition,
+            workload_scale=workload_scale,
+        )
+
+    specs: List[RunSpec] = []
+    slots: List[Tuple[str, float, Tuple[str, str]]] = []
     for cap in caps:
         for pair in pair_list:
-            per_system: Dict[str, List[float]] = {s: [] for s in systems}
-            fair_runtimes: List[float] = []
             for repetition in range(repetitions):
-                cell_seed = seed + 7919 * repetition
-                fair = run_single(
-                    RunSpec(
-                        manager="fair",
-                        pair=pair,
-                        cap_w_per_socket=cap,
-                        n_clients=n_clients,
-                        seed=cell_seed,
-                        workload_scale=workload_scale,
-                    )
-                )
-                fair_runtimes.append(fair.runtime_s)
+                specs.append(cell_spec("fair", cap, pair, repetition))
+                slots.append(("fair", cap, pair))
                 for system in systems:
-                    run = run_single(
-                        RunSpec(
-                            manager=system,
-                            pair=pair,
-                            cap_w_per_socket=cap,
-                            n_clients=n_clients,
-                            seed=cell_seed,
-                            workload_scale=workload_scale,
-                        )
-                    )
-                    per_system[system].append(
-                        normalized_performance(run.runtime_s, fair.runtime_s)
-                    )
+                    specs.append(cell_spec(system, cap, pair, repetition))
+                    slots.append((system, cap, pair))
+
+    runs = run_sweep(
+        specs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+
+    runtimes: Dict[Tuple[str, float, Tuple[str, str]], List[float]] = {}
+    for slot, run in zip(slots, runs):
+        runtimes.setdefault(slot, []).append(run.runtime_s)
+    for cap in caps:
+        for pair in pair_list:
+            fair_runtimes = runtimes[("fair", cap, pair)]
             result.fair_runtimes[(cap, pair)] = geometric_mean(fair_runtimes)
             for system in systems:
                 result.normalized[(system, cap, pair)] = geometric_mean(
-                    per_system[system]
+                    [
+                        normalized_performance(run_s, fair_s)
+                        for run_s, fair_s in zip(
+                            runtimes[(system, cap, pair)], fair_runtimes
+                        )
+                    ]
                 )
     return result

@@ -7,12 +7,47 @@ benchmark harness can regenerate each one without a plotting stack.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Mapping, Tuple
 
 from repro.experiments.faulty import FaultyResult
 from repro.experiments.nominal import NominalResult
 from repro.experiments.overhead import OverheadResult
+from repro.experiments.runner import ProgressEvent
 from repro.experiments.scaling import ScalingResult
+
+
+def describe_spec(spec: object) -> str:
+    """A one-line human label for any sweep spec type."""
+    parts = [str(getattr(spec, "manager", spec))]
+    pair = getattr(spec, "pair", None)
+    if pair:
+        parts.append(":".join(pair))
+    for attr, label in (
+        ("cap_w_per_socket", "cap"),
+        ("n_clients", "nodes"),
+        ("frequency_hz", "hz"),
+        ("seed", "seed"),
+    ):
+        value = getattr(spec, attr, None)
+        if value is not None:
+            parts.append(f"{label}={value:g}" if isinstance(value, float) else f"{label}={value}")
+    return " ".join(parts)
+
+
+def format_progress(event: ProgressEvent) -> str:
+    """One sweep-progress line, e.g. ``[ 12/180] fair EP:DC cap=60 ... 3.1s``."""
+    width = len(str(event.total))
+    status = "cached" if event.cached else f"{event.duration_s:.1f}s"
+    return (
+        f"[{event.index + 1:>{width}}/{event.total}] "
+        f"{describe_spec(event.spec)} ... {status}"
+    )
+
+
+def print_progress(event: ProgressEvent) -> None:
+    """Progress listener for the CLI: one line per finished run, stderr."""
+    print(format_progress(event), file=sys.stderr)
 
 
 def _bar(value: float, unit: float, width: int = 40, char: str = "#") -> str:

@@ -1,0 +1,274 @@
+"""Parallel sweep executor with an on-disk result cache.
+
+Every experiment of the evaluation is an embarrassingly-parallel sweep:
+a list of fully-self-describing specs, each simulated in its own fresh
+universe.  :func:`run_sweep` is the one funnel they all go through now:
+
+* **Parallelism.**  ``jobs > 1`` fans specs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`; ``jobs=1`` degrades to
+  the plain in-process loop (no subprocesses -- breakpoints, coverage and
+  hypothesis shrinking keep working).  Results always come back in *spec
+  order*, regardless of completion order, and because every run seeds its
+  own :class:`~repro.sim.rng.RngRegistry` the results are byte-identical
+  across job counts.
+
+* **Caching.**  With a ``cache_dir``, each finished run is written as one
+  JSON file keyed by a stable content hash of (spec, task kind, code
+  version, salt).  Re-running an interrupted or overlapping sweep only
+  executes the missing specs; corrupted or stale cache files are treated
+  as misses, never as errors.
+
+* **Progress.**  Module-level listeners (and a per-call ``progress``
+  callback) receive one :class:`ProgressEvent` per finished spec --
+  :mod:`repro.experiments.report` prints them for the CLI and the
+  benchmark conftest counts them.
+
+Sweeps over other spec types plug in through :class:`TaskKind`, which
+bundles the run function with its JSON codecs (see
+:data:`repro.experiments.scaling.SCALING_RUN` and friends).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.experiments import serialize
+from repro.experiments.harness import run_single
+
+#: Part of every cache key.  Bump when simulation semantics change in a
+#: way that invalidates previously-computed results.
+CODE_VERSION = "1"
+
+#: Where the CLI caches results unless told otherwise.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class TaskKind:
+    """A sweep-able task type: a run function plus its JSON codecs.
+
+    ``fn`` must be a module-level callable (picklable by reference) taking
+    one spec and returning one result; the codecs make specs hashable for
+    the cache and results round-trippable to JSON.
+    """
+
+    name: str
+    fn: Callable[[Any], Any]
+    spec_to_dict: Callable[[Any], Dict[str, Any]]
+    result_to_dict: Callable[[Any], Dict[str, Any]]
+    result_from_dict: Callable[[Dict[str, Any]], Any]
+
+
+#: The default kind: :func:`repro.experiments.harness.run_single`.
+SINGLE_RUN = TaskKind(
+    name="single",
+    fn=run_single,
+    spec_to_dict=serialize.spec_to_dict,
+    result_to_dict=serialize.result_to_dict,
+    result_from_dict=serialize.result_from_dict,
+)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One spec of a sweep finished (by execution or by cache hit)."""
+
+    kind: str
+    index: int
+    total: int
+    spec: Any
+    cached: bool
+    #: Wall-clock seconds until the result was collected (0 for cache hits;
+    #: informational only -- never part of any cached artifact).
+    duration_s: float
+
+
+ProgressListener = Callable[[ProgressEvent], None]
+
+_listeners: List[ProgressListener] = []
+
+
+def add_progress_listener(listener: ProgressListener) -> None:
+    """Subscribe ``listener`` to every sweep's per-spec progress events."""
+    _listeners.append(listener)
+
+
+def remove_progress_listener(listener: ProgressListener) -> None:
+    """Unsubscribe ``listener``; unknown listeners are ignored."""
+    if listener in _listeners:
+        _listeners.remove(listener)
+
+
+def _notify(event: ProgressEvent, progress: Optional[ProgressListener]) -> None:
+    for listener in list(_listeners):
+        listener(event)
+    if progress is not None:
+        progress(event)
+
+
+def spec_fingerprint(spec: Any, kind: TaskKind = SINGLE_RUN, salt: str = "") -> str:
+    """Stable content hash identifying one (spec, kind, code version) run."""
+    payload = {
+        "version": CODE_VERSION,
+        "kind": kind.name,
+        "salt": salt,
+        "spec": kind.spec_to_dict(spec),
+    }
+    return serialize.sha256_of(payload)
+
+
+class ResultCache:
+    """One-file-per-run JSON cache under ``root/<kind>/<fingerprint>.json``.
+
+    The fingerprint is stored inside the file as well; a mismatch (or any
+    parse/decode failure) makes :meth:`load` report a miss, so truncated
+    or hand-edited files fall back to re-running instead of crashing.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        kind: TaskKind = SINGLE_RUN,
+        salt: str = "",
+    ) -> None:
+        self.root = Path(root)
+        self.kind = kind
+        self.salt = salt
+
+    def path_for(self, spec: Any) -> Path:
+        fingerprint = spec_fingerprint(spec, self.kind, self.salt)
+        return self.root / self.kind.name / f"{fingerprint}.json"
+
+    def load(self, spec: Any) -> Optional[Any]:
+        """The cached result for ``spec``, or ``None`` on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("fingerprint") != path.stem:
+            return None
+        try:
+            return self.kind.result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, spec: Any, result: Any) -> Path:
+        """Atomically persist ``result`` (write temp file, then rename)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": path.stem,
+            "kind": self.kind.name,
+            "spec": self.kind.spec_to_dict(spec),
+            "result": self.kind.result_to_dict(result),
+        }
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp.write_text(serialize.canonical_json(payload))
+        os.replace(tmp, path)
+        return path
+
+
+def run_sweep(
+    specs: Iterable[Any],
+    kind: TaskKind = SINGLE_RUN,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
+    salt: str = "",
+    progress: Optional[ProgressListener] = None,
+) -> List[Any]:
+    """Run every spec and return results in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The sweep, in the order results should come back.
+    kind:
+        Task type (run function + codecs); defaults to ``run_single``.
+    jobs:
+        Worker processes.  ``1`` runs in-process; ``None`` uses the CPU
+        count.
+    cache_dir:
+        Cache root (``None`` disables caching entirely).
+    use_cache:
+        With ``False``, existing cache files are neither read nor
+        written -- every spec executes.
+    salt:
+        Extra cache-key component (e.g. for deliberate cache busting).
+    progress:
+        Per-call progress callback, invoked after the module-level
+        listeners for each finished spec.
+    """
+    spec_list = list(specs)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs!r}")
+    cache = (
+        ResultCache(cache_dir, kind, salt)
+        if use_cache and cache_dir is not None
+        else None
+    )
+    total = len(spec_list)
+    results: List[Any] = [None] * total
+
+    pending: List[int] = []
+    for index, spec in enumerate(spec_list):
+        cached = cache.load(spec) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            _notify(
+                ProgressEvent(kind.name, index, total, spec, True, 0.0), progress
+            )
+        else:
+            pending.append(index)
+
+    if not pending:
+        return results
+
+    if jobs == 1:
+        for index in pending:
+            started = time.perf_counter()
+            result = kind.fn(spec_list[index])
+            _finish(
+                kind, cache, results, spec_list, index, total, result,
+                time.perf_counter() - started, progress,
+            )
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            started = time.perf_counter()
+            futures = [(index, pool.submit(kind.fn, spec_list[index])) for index in pending]
+            for index, future in futures:
+                result = future.result()
+                _finish(
+                    kind, cache, results, spec_list, index, total, result,
+                    time.perf_counter() - started, progress,
+                )
+    return results
+
+
+def _finish(
+    kind: TaskKind,
+    cache: Optional[ResultCache],
+    results: List[Any],
+    spec_list: Sequence[Any],
+    index: int,
+    total: int,
+    result: Any,
+    duration_s: float,
+    progress: Optional[ProgressListener],
+) -> None:
+    results[index] = result
+    if cache is not None:
+        cache.store(spec_list[index], result)
+    _notify(
+        ProgressEvent(kind.name, index, total, spec_list[index], False, duration_s),
+        progress,
+    )

@@ -22,12 +22,14 @@ frequency (service time 80-100 microseconds per request, strictly serial).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import DistributionSummary
 from repro.core.config import PenelopeConfig
+from repro.experiments import serialize
 from repro.experiments.harness import make_manager, needs_server_node
+from repro.experiments.runner import ProgressListener, TaskKind, run_sweep
 from repro.experiments.metrics import (
     redistribution_time_from_caps,
     timeout_rate,
@@ -423,6 +425,103 @@ def run_scaling_point(spec: ScalingSpec) -> ScalingResult:
     )
 
 
+# -- sweep-runner integration ------------------------------------------------
+
+
+def scaling_spec_to_dict(spec: ScalingSpec) -> Dict[str, Any]:
+    return {
+        "manager": spec.manager,
+        "n_clients": spec.n_clients,
+        "frequency_hz": spec.frequency_hz,
+        "cap_w_per_socket": spec.cap_w_per_socket,
+        "donor_demand_w_per_socket": spec.donor_demand_w_per_socket,
+        "hungry_demand_w_per_socket": spec.hungry_demand_w_per_socket,
+        "release_at_s": spec.release_at_s,
+        "observe_for_s": spec.observe_for_s,
+        "seed": spec.seed,
+        "spec": asdict(spec.spec),
+        "pair": list(spec.pair) if spec.pair is not None else None,
+        "stagger_window_s": spec.stagger_window_s,
+        "server_inbox_capacity": spec.server_inbox_capacity,
+        "manager_config": (
+            serialize.config_to_dict(spec.manager_config)
+            if spec.manager_config is not None
+            else None
+        ),
+    }
+
+
+def scaling_spec_from_dict(data: Dict[str, Any]) -> ScalingSpec:
+    return ScalingSpec(
+        manager=data["manager"],
+        n_clients=data["n_clients"],
+        frequency_hz=data["frequency_hz"],
+        cap_w_per_socket=data["cap_w_per_socket"],
+        donor_demand_w_per_socket=data["donor_demand_w_per_socket"],
+        hungry_demand_w_per_socket=data["hungry_demand_w_per_socket"],
+        release_at_s=data["release_at_s"],
+        observe_for_s=data["observe_for_s"],
+        seed=data["seed"],
+        spec=PowerDomainSpec(**data["spec"]),
+        pair=tuple(data["pair"]) if data["pair"] is not None else None,
+        stagger_window_s=data["stagger_window_s"],
+        server_inbox_capacity=data["server_inbox_capacity"],
+        manager_config=(
+            serialize.config_from_dict(data["manager_config"])
+            if data["manager_config"] is not None
+            else None
+        ),
+    )
+
+
+def scaling_result_to_dict(result: ScalingResult) -> Dict[str, Any]:
+    return {
+        "spec": scaling_spec_to_dict(result.spec),
+        "available_w": result.available_w,
+        "redistribution_median_s": result.redistribution_median_s,
+        "redistribution_total_s": result.redistribution_total_s,
+        "total_capped": result.total_capped,
+        "turnaround": (
+            asdict(result.turnaround) if result.turnaround is not None else None
+        ),
+        "timeout_fraction": result.timeout_fraction,
+        "messages_sent": result.messages_sent,
+        "messages_dropped_overflow": result.messages_dropped_overflow,
+        "server_requests_served": result.server_requests_served,
+        "recorder": serialize.recorder_to_dict(result.recorder),
+    }
+
+
+def scaling_result_from_dict(data: Dict[str, Any]) -> ScalingResult:
+    return ScalingResult(
+        spec=scaling_spec_from_dict(data["spec"]),
+        available_w=data["available_w"],
+        redistribution_median_s=data["redistribution_median_s"],
+        redistribution_total_s=data["redistribution_total_s"],
+        total_capped=data["total_capped"],
+        turnaround=(
+            DistributionSummary(**data["turnaround"])
+            if data["turnaround"] is not None
+            else None
+        ),
+        timeout_fraction=data["timeout_fraction"],
+        messages_sent=data["messages_sent"],
+        messages_dropped_overflow=data["messages_dropped_overflow"],
+        server_requests_served=data["server_requests_served"],
+        recorder=serialize.recorder_from_dict(data["recorder"]),
+    )
+
+
+#: :func:`run_scaling_point` as a sweep-runner task kind.
+SCALING_RUN = TaskKind(
+    name="scaling",
+    fn=run_scaling_point,
+    spec_to_dict=scaling_spec_to_dict,
+    result_to_dict=scaling_result_to_dict,
+    result_from_dict=scaling_result_from_dict,
+)
+
+
 def sweep_frequency(
     frequencies_hz: Sequence[float] = PAPER_FREQUENCIES_HZ,
     n_clients: int = 1056,
@@ -430,10 +529,15 @@ def sweep_frequency(
     seed: int = 0,
     observe_for_s: Optional[float] = None,
     base: Optional[ScalingSpec] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[Tuple[str, float], ScalingResult]:
     """Figures 4, 5, 7: fix the scale, sweep decider frequency."""
-    results: Dict[Tuple[str, float], ScalingResult] = {}
     template = base or ScalingSpec(manager="penelope", n_clients=n_clients, seed=seed)
+    points: List[ScalingSpec] = []
+    keys: List[Tuple[str, float]] = []
     for manager in managers:
         for freq in frequencies_hz:
             observe = (
@@ -444,16 +548,26 @@ def sweep_frequency(
                 # or 60 decider iterations, whichever is longer.
                 else max(15.0, 60.0 / freq)
             )
-            point = replace(
-                template,
-                manager=manager,
-                n_clients=n_clients,
-                frequency_hz=freq,
-                observe_for_s=observe,
-                seed=seed,
+            points.append(
+                replace(
+                    template,
+                    manager=manager,
+                    n_clients=n_clients,
+                    frequency_hz=freq,
+                    observe_for_s=observe,
+                    seed=seed,
+                )
             )
-            results[(manager, freq)] = run_scaling_point(point)
-    return results
+            keys.append((manager, freq))
+    runs = run_sweep(
+        points,
+        kind=SCALING_RUN,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+    return dict(zip(keys, runs))
 
 
 def sweep_pairs(
@@ -463,6 +577,10 @@ def sweep_pairs(
     managers: Sequence[str] = ("penelope", "slurm"),
     seed: int = 0,
     observe_for_s: float = 30.0,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[Tuple[str, Tuple[str, str]], ScalingResult]:
     """The paper's per-pair distributions: one scaling run per application
     pair, using windowed pair profiles (§4.5: "we compute the value in
@@ -476,19 +594,30 @@ def sweep_pairs(
     from repro.workloads.generator import unique_pairs
 
     pair_list = list(pairs) if pairs is not None else unique_pairs()
-    results: Dict[Tuple[str, Tuple[str, str]], ScalingResult] = {}
+    points: List[ScalingSpec] = []
+    keys: List[Tuple[str, Tuple[str, str]]] = []
     for manager in managers:
         for pair in pair_list:
-            point = ScalingSpec(
-                manager=manager,
-                n_clients=n_clients,
-                frequency_hz=frequency_hz,
-                observe_for_s=observe_for_s,
-                pair=pair,
-                seed=seed,
+            points.append(
+                ScalingSpec(
+                    manager=manager,
+                    n_clients=n_clients,
+                    frequency_hz=frequency_hz,
+                    observe_for_s=observe_for_s,
+                    pair=pair,
+                    seed=seed,
+                )
             )
-            results[(manager, pair)] = run_scaling_point(point)
-    return results
+            keys.append((manager, pair))
+    runs = run_sweep(
+        points,
+        kind=SCALING_RUN,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+    return dict(zip(keys, runs))
 
 
 def sweep_scale(
@@ -498,19 +627,34 @@ def sweep_scale(
     seed: int = 0,
     observe_for_s: float = 40.0,
     base: Optional[ScalingSpec] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressListener] = None,
 ) -> Dict[Tuple[str, int], ScalingResult]:
     """Figures 6, 8: fix the frequency at 1/s, sweep the node count."""
-    results: Dict[Tuple[str, int], ScalingResult] = {}
     template = base or ScalingSpec(manager="penelope", seed=seed)
+    points: List[ScalingSpec] = []
+    keys: List[Tuple[str, int]] = []
     for manager in managers:
         for scale in scales:
-            point = replace(
-                template,
-                manager=manager,
-                n_clients=scale,
-                frequency_hz=frequency_hz,
-                observe_for_s=observe_for_s,
-                seed=seed,
+            points.append(
+                replace(
+                    template,
+                    manager=manager,
+                    n_clients=scale,
+                    frequency_hz=frequency_hz,
+                    observe_for_s=observe_for_s,
+                    seed=seed,
+                )
             )
-            results[(manager, scale)] = run_scaling_point(point)
-    return results
+            keys.append((manager, scale))
+    runs = run_sweep(
+        points,
+        kind=SCALING_RUN,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+    return dict(zip(keys, runs))

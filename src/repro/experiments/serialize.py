@@ -1,0 +1,276 @@
+"""JSON (de)serialization for run specs and results.
+
+The parallel sweep runner (:mod:`repro.experiments.runner`) persists every
+completed run as one JSON file under its cache directory, keyed by a
+stable content hash of the spec.  That requires :class:`RunSpec` and
+:class:`RunResult` -- including the polymorphic manager configs, fault
+plans, the full :class:`MetricsRecorder` event log, :class:`BudgetAudit`
+and :class:`NetworkStats` -- to round-trip losslessly through JSON.
+
+Python floats survive a JSON round-trip exactly (``json`` emits the
+shortest repr that parses back to the same float), so a decoded result
+re-serializes to byte-identical canonical JSON -- the property the
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Optional, Type
+
+from repro.cluster.faults import FaultPlan
+from repro.core.config import PenelopeConfig
+from repro.experiments.harness import RunResult, RunSpec
+from repro.instrumentation import (
+    CapSample,
+    MetricsRecorder,
+    TransactionEvent,
+    TurnaroundSample,
+)
+from repro.managers.base import BudgetAudit, ManagerConfig
+from repro.managers.slurm import SlurmConfig
+from repro.managers.slurm_ha import HaSlurmConfig
+from repro.net.network import NetworkStats
+
+#: Every concrete manager-config class the harness can carry.  Order is
+#: irrelevant; lookups go through the class name stored in the JSON.
+CONFIG_TYPES: Dict[str, Type[ManagerConfig]] = {
+    cls.__name__: cls
+    for cls in (ManagerConfig, PenelopeConfig, SlurmConfig, HaSlurmConfig)
+}
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace.
+
+    Used both for cache files and for the spec fingerprint, so two equal
+    objects always produce identical bytes.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_of(obj: Any) -> str:
+    """Hex digest of an object's canonical JSON."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+# -- manager configs ---------------------------------------------------------
+
+
+def config_to_dict(config: ManagerConfig) -> Dict[str, Any]:
+    name = type(config).__name__
+    if name not in CONFIG_TYPES:
+        raise TypeError(f"unregistered manager config type {name!r}")
+    fields = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        fields[f.name] = value
+    return {"type": name, "fields": fields}
+
+
+def config_from_dict(data: Dict[str, Any]) -> ManagerConfig:
+    cls = CONFIG_TYPES[data["type"]]
+    kwargs = {
+        # Tuple-typed config fields (the service-time ranges) come back
+        # from JSON as lists; every other field is a scalar or None.
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in data["fields"].items()
+    }
+    return cls(**kwargs)
+
+
+# -- fault plans -------------------------------------------------------------
+
+
+def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    return {
+        "node_kills": [[node_id, at] for node_id, at in plan.node_kills],
+        "partitions": [
+            [list(isolated), at, heal] for isolated, at, heal in plan.partitions
+        ],
+    }
+
+
+def fault_plan_from_dict(data: Dict[str, Any]) -> FaultPlan:
+    plan = FaultPlan()
+    for node_id, at in data["node_kills"]:
+        plan.kill(int(node_id), at)
+    for isolated, at, heal in data["partitions"]:
+        plan.partition([int(i) for i in isolated], at, heal)
+    return plan
+
+
+# -- run specs ---------------------------------------------------------------
+
+
+def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
+    return {
+        "manager": spec.manager,
+        "pair": list(spec.pair),
+        "cap_w_per_socket": spec.cap_w_per_socket,
+        "n_clients": spec.n_clients,
+        "seed": spec.seed,
+        "workload_scale": spec.workload_scale,
+        "manager_config": (
+            config_to_dict(spec.manager_config)
+            if spec.manager_config is not None
+            else None
+        ),
+        "fault_plan": (
+            fault_plan_to_dict(spec.fault_plan)
+            if spec.fault_plan is not None
+            else None
+        ),
+        "record_caps": spec.record_caps,
+        "time_limit_s": spec.time_limit_s,
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> RunSpec:
+    return RunSpec(
+        manager=data["manager"],
+        pair=tuple(data["pair"]),
+        cap_w_per_socket=data["cap_w_per_socket"],
+        n_clients=data["n_clients"],
+        seed=data["seed"],
+        workload_scale=data["workload_scale"],
+        manager_config=(
+            config_from_dict(data["manager_config"])
+            if data["manager_config"] is not None
+            else None
+        ),
+        fault_plan=(
+            fault_plan_from_dict(data["fault_plan"])
+            if data["fault_plan"] is not None
+            else None
+        ),
+        record_caps=data["record_caps"],
+        time_limit_s=data["time_limit_s"],
+    )
+
+
+# -- metrics recorder --------------------------------------------------------
+
+# Events are stored as flat rows (lists) rather than objects: a paper-sized
+# run records tens of thousands of them, and the field names would dominate
+# the file size.
+
+
+def recorder_to_dict(recorder: MetricsRecorder) -> Dict[str, Any]:
+    return {
+        "record_caps": recorder._record_caps,
+        "transactions": [
+            [t.time, t.kind, t.src, t.dst, t.watts, t.urgent]
+            for t in recorder.transactions
+        ],
+        "turnarounds": [
+            [s.time, s.node, s.wait_s, s.granted_w, s.timed_out]
+            for s in recorder.turnarounds
+        ],
+        "caps": [[s.time, s.node, s.cap_w] for s in recorder.caps],
+        "counters": dict(recorder.counters),
+    }
+
+
+def recorder_from_dict(data: Dict[str, Any]) -> MetricsRecorder:
+    recorder = MetricsRecorder(record_caps=data["record_caps"])
+    recorder.transactions = [
+        TransactionEvent(
+            time=time, kind=kind, src=src, dst=dst, watts=watts, urgent=urgent
+        )
+        for time, kind, src, dst, watts, urgent in data["transactions"]
+    ]
+    recorder.turnarounds = [
+        TurnaroundSample(
+            time=time,
+            node=node,
+            wait_s=wait_s,
+            granted_w=granted_w,
+            timed_out=timed_out,
+        )
+        for time, node, wait_s, granted_w, timed_out in data["turnarounds"]
+    ]
+    recorder.caps = [
+        CapSample(time=time, node=node, cap_w=cap_w)
+        for time, node, cap_w in data["caps"]
+    ]
+    recorder.counters = {str(k): int(v) for k, v in data["counters"].items()}
+    return recorder
+
+
+# -- audits and network stats ------------------------------------------------
+
+
+def audit_to_dict(audit: BudgetAudit) -> Dict[str, Any]:
+    return {
+        "budget_w": audit.budget_w,
+        "caps_w": audit.caps_w,
+        "pooled_w": audit.pooled_w,
+        "in_flight_w": audit.in_flight_w,
+        "lost_w": audit.lost_w,
+        "unsafe_caps": list(audit.unsafe_caps),
+    }
+
+
+def audit_from_dict(data: Dict[str, Any]) -> BudgetAudit:
+    return BudgetAudit(
+        budget_w=data["budget_w"],
+        caps_w=data["caps_w"],
+        pooled_w=data["pooled_w"],
+        in_flight_w=data["in_flight_w"],
+        lost_w=data["lost_w"],
+        unsafe_caps=[int(n) for n in data["unsafe_caps"]],
+    )
+
+
+def network_stats_to_dict(stats: NetworkStats) -> Dict[str, Any]:
+    data = dataclasses.asdict(stats)
+    data["by_kind"] = dict(stats.by_kind)
+    return data
+
+
+def network_stats_from_dict(data: Dict[str, Any]) -> NetworkStats:
+    return NetworkStats(
+        sent=data["sent"],
+        delivered=data["delivered"],
+        dropped_dead=data["dropped_dead"],
+        dropped_partition=data["dropped_partition"],
+        dropped_overflow=data["dropped_overflow"],
+        dropped_unattached=data["dropped_unattached"],
+        dropped_loss=data["dropped_loss"],
+        by_kind={str(k): int(v) for k, v in data["by_kind"].items()},
+    )
+
+
+# -- run results -------------------------------------------------------------
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    return {
+        "spec": spec_to_dict(result.spec),
+        "runtime_s": result.runtime_s,
+        "recorder": recorder_to_dict(result.recorder),
+        "audit": audit_to_dict(result.audit),
+        "network": network_stats_to_dict(result.network),
+        # JSON objects only take string keys; node ids go back to int on load.
+        "finish_times": {
+            str(node): at for node, at in sorted(result.finish_times.items())
+        },
+        "unfinished": list(result.unfinished),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    return RunResult(
+        spec=spec_from_dict(data["spec"]),
+        runtime_s=data["runtime_s"],
+        recorder=recorder_from_dict(data["recorder"]),
+        audit=audit_from_dict(data["audit"]),
+        network=network_stats_from_dict(data["network"]),
+        finish_times={int(node): at for node, at in data["finish_times"].items()},
+        unfinished=tuple(int(n) for n in data["unfinished"]),
+    )

@@ -10,11 +10,14 @@ from repro.experiments.harness import (
     MANAGER_FACTORIES,
     RunSpec,
     build_run,
+    expected_config_type,
     make_manager,
     needs_server_node,
     run_single,
 )
+from repro.managers.base import ManagerConfig
 from repro.managers.slurm import SlurmConfig
+from repro.managers.slurm_ha import HaSlurmConfig
 
 FAST = dict(n_clients=4, workload_scale=0.1, seed=0)
 
@@ -52,6 +55,43 @@ class TestRegistry:
     def test_make_manager_with_matching_config(self):
         manager = make_manager("penelope", config=PenelopeConfig(rate=0.2))
         assert manager.config.rate == 0.2
+
+    def test_expected_config_type_table(self):
+        assert expected_config_type("fair") is ManagerConfig
+        assert expected_config_type("penelope") is PenelopeConfig
+        assert expected_config_type("slurm") is SlurmConfig
+        assert expected_config_type("podd") is SlurmConfig
+        assert expected_config_type("slurm-ha") is HaSlurmConfig
+
+
+class TestFairConfigPlumbing:
+    """Fair goes through the same table-driven config path as everyone."""
+
+    def test_fair_honours_supplied_config(self):
+        manager = make_manager("fair", config=ManagerConfig(epsilon_w=9.0))
+        assert manager.config.epsilon_w == 9.0
+
+    def test_fair_still_forces_zero_overhead(self):
+        manager = make_manager("fair", config=ManagerConfig(overhead_factor=0.05))
+        assert manager.config.overhead_factor == 0.0
+
+    def test_fair_rejects_non_config(self):
+        with pytest.raises(TypeError):
+            make_manager("fair", config=object())
+
+    def test_build_run_passes_fair_config_through(self):
+        spec = RunSpec(
+            "fair", ("EP", "DC"), 80.0, n_clients=4,
+            manager_config=ManagerConfig(epsilon_w=9.0),
+        )
+        _, _, manager = build_run(spec)
+        assert manager.config.epsilon_w == 9.0
+
+    def test_runspec_rejects_mismatched_config(self):
+        with pytest.raises(TypeError):
+            RunSpec("penelope", ("EP", "DC"), 70.0, manager_config=SlurmConfig())
+        with pytest.raises(TypeError):
+            RunSpec("fair", ("EP", "DC"), 70.0, manager_config="not a config")
 
 
 class TestRunSpec:

@@ -1,0 +1,226 @@
+"""Round-trip tests for the JSON codecs, plus hypothesis properties:
+specs survive JSON losslessly and the cache fingerprint is injective
+over field perturbations."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.faults import FaultPlan
+from repro.core.config import PenelopeConfig
+from repro.experiments import serialize
+from repro.experiments.harness import RunSpec, expected_config_type, run_single
+from repro.experiments.runner import spec_fingerprint
+from repro.managers.base import ManagerConfig
+from repro.managers.slurm import SlurmConfig
+from repro.managers.slurm_ha import HaSlurmConfig
+
+
+def json_round_trip(data):
+    """Force the dict through actual JSON text, as the cache does."""
+    return json.loads(json.dumps(data))
+
+
+# -- configs and fault plans -------------------------------------------------
+
+
+class TestConfigCodec:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ManagerConfig(),
+            ManagerConfig(period_s=0.5, epsilon_w=7.0, overhead_factor=0.0),
+            PenelopeConfig(rate=0.25),
+            SlurmConfig(server_service_time_s=(8e-5, 1e-4), rate_scheme="scale-aware"),
+            HaSlurmConfig(),
+        ],
+    )
+    def test_round_trip(self, config):
+        decoded = serialize.config_from_dict(
+            json_round_trip(serialize.config_to_dict(config))
+        )
+        assert type(decoded) is type(config)
+        assert decoded == config
+
+    def test_unregistered_type_rejected(self):
+        class Rogue(ManagerConfig):
+            pass
+
+        with pytest.raises(TypeError):
+            serialize.config_to_dict(Rogue())
+
+
+class TestFaultPlanCodec:
+    def test_round_trip(self):
+        plan = (
+            FaultPlan()
+            .kill(3, 12.5)
+            .kill(0, 1.0)
+            .partition([1, 2], at_time_s=5.0, heal_after_s=9.0)
+        )
+        decoded = serialize.fault_plan_from_dict(
+            json_round_trip(serialize.fault_plan_to_dict(plan))
+        )
+        assert decoded == plan
+
+    def test_empty_plan(self):
+        decoded = serialize.fault_plan_from_dict(
+            json_round_trip(serialize.fault_plan_to_dict(FaultPlan()))
+        )
+        assert decoded.node_kills == []
+        assert decoded.partitions == []
+
+
+# -- full results ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def faulty_penelope_result():
+    """A run exercising every RunResult field: manager config, fault plan,
+    cap recording, an unfinished node and nonzero counters."""
+    return run_single(
+        RunSpec(
+            "penelope",
+            ("EP", "DC"),
+            70.0,
+            n_clients=4,
+            workload_scale=0.1,
+            manager_config=PenelopeConfig(rate=0.3),
+            fault_plan=FaultPlan().kill(0, 1.0),
+            record_caps=True,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def slurm_result():
+    """A centralized run: network by_kind traffic and turnaround samples."""
+    return run_single(
+        RunSpec("slurm", ("EP", "DC"), 70.0, n_clients=4, workload_scale=0.1)
+    )
+
+
+class TestResultCodec:
+    @pytest.fixture(params=["faulty_penelope_result", "slurm_result"])
+    def result(self, request):
+        return request.getfixturevalue(request.param)
+
+    def test_reserializes_byte_identically(self, result):
+        data = json_round_trip(serialize.result_to_dict(result))
+        decoded = serialize.result_from_dict(data)
+        assert serialize.canonical_json(
+            serialize.result_to_dict(decoded)
+        ) == serialize.canonical_json(serialize.result_to_dict(result))
+
+    def test_scalar_fields(self, result):
+        decoded = serialize.result_from_dict(
+            json_round_trip(serialize.result_to_dict(result))
+        )
+        assert decoded.spec == result.spec or (
+            # fault plans compare by identity on RunSpec; compare content
+            serialize.spec_to_dict(decoded.spec)
+            == serialize.spec_to_dict(result.spec)
+        )
+        assert decoded.runtime_s == result.runtime_s
+        assert decoded.finish_times == result.finish_times
+        assert all(isinstance(node, int) for node in decoded.finish_times)
+        assert decoded.unfinished == result.unfinished
+        assert isinstance(decoded.unfinished, tuple)
+
+    def test_recorder_events(self, result):
+        decoded = serialize.result_from_dict(
+            json_round_trip(serialize.result_to_dict(result))
+        )
+        assert decoded.recorder.transactions == result.recorder.transactions
+        assert decoded.recorder.turnarounds == result.recorder.turnarounds
+        assert decoded.recorder.caps == result.recorder.caps
+        assert decoded.recorder.counters == result.recorder.counters
+        assert decoded.recorder._record_caps == result.recorder._record_caps
+
+    def test_budget_audit(self, result):
+        decoded = serialize.audit_from_dict(
+            json_round_trip(serialize.audit_to_dict(result.audit))
+        )
+        assert decoded == result.audit
+
+    def test_network_stats(self, result):
+        decoded = serialize.network_stats_from_dict(
+            json_round_trip(serialize.network_stats_to_dict(result.network))
+        )
+        assert decoded == result.network
+        assert decoded.by_kind == result.network.by_kind
+
+    def test_faulty_run_really_exercises_the_optional_fields(
+        self, faulty_penelope_result
+    ):
+        assert faulty_penelope_result.unfinished == (0,)
+        assert faulty_penelope_result.recorder.caps  # record_caps=True
+        assert faulty_penelope_result.recorder.counters
+
+
+# -- hypothesis properties ---------------------------------------------------
+
+APPS = ("EP", "DC", "CG", "LU", "FT", "MG")
+
+spec_strategy = st.builds(
+    RunSpec,
+    manager=st.sampled_from(("fair", "penelope", "slurm")),
+    pair=st.tuples(st.sampled_from(APPS), st.sampled_from(APPS)),
+    cap_w_per_socket=st.floats(min_value=1.0, max_value=200.0),
+    n_clients=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    workload_scale=st.floats(min_value=0.01, max_value=4.0),
+    record_caps=st.booleans(),
+    time_limit_s=st.floats(min_value=1.0, max_value=1e7),
+)
+
+#: One perturbation per RunSpec field; each must change the fingerprint.
+FIELD_PERTURBATIONS = [
+    ("manager", lambda s: "slurm" if s.manager != "slurm" else "fair"),
+    (
+        "pair",
+        lambda s: (s.pair[1], s.pair[0]) if s.pair[0] != s.pair[1] else ("SP", "UA"),
+    ),
+    ("cap_w_per_socket", lambda s: s.cap_w_per_socket + 1.0),
+    ("n_clients", lambda s: s.n_clients + 1),
+    ("seed", lambda s: s.seed + 1),
+    ("workload_scale", lambda s: s.workload_scale * 2.0),
+    ("manager_config", lambda s: expected_config_type(s.manager)(epsilon_w=123.0)),
+    ("fault_plan", lambda s: FaultPlan().kill(0, 1.0)),
+    ("record_caps", lambda s: not s.record_caps),
+    ("time_limit_s", lambda s: s.time_limit_s + 1.0),
+]
+
+
+class TestSpecProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(spec=spec_strategy)
+    def test_spec_round_trips_through_json(self, spec):
+        assert (
+            serialize.spec_from_dict(json_round_trip(serialize.spec_to_dict(spec)))
+            == spec
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        spec=spec_strategy,
+        choice=st.integers(min_value=0, max_value=len(FIELD_PERTURBATIONS) - 1),
+    )
+    def test_fingerprint_injective_over_field_perturbations(self, spec, choice):
+        field, perturb = FIELD_PERTURBATIONS[choice]
+        mutated = replace(spec, **{field: perturb(spec)})
+        assume(serialize.spec_to_dict(mutated) != serialize.spec_to_dict(spec))
+        assert spec_fingerprint(mutated) != spec_fingerprint(spec)
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec=spec_strategy)
+    def test_fingerprint_is_stable(self, spec):
+        decoded = serialize.spec_from_dict(
+            json_round_trip(serialize.spec_to_dict(spec))
+        )
+        assert spec_fingerprint(decoded) == spec_fingerprint(spec)

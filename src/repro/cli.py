@@ -8,6 +8,8 @@ Examples::
     python -m repro faulty   --scale 0.25 --no-cache
     python -m repro scaling-frequency --clients 264 --freqs 1 5 10 20
     python -m repro scaling-scale     --scales 44 132 264
+    python -m repro bench                             # kernel perf sweep
+    python -m repro bench --quick                     # CI perf smoke
 
 Full paper-sized sweeps take minutes; every command accepts reduced
 parameters for a quick look.  Sweep commands take ``--jobs N`` to fan
@@ -175,6 +177,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(multijob)
     _add_runner_args(allocation)
 
+    from repro.experiments import bench as _bench
+
+    bench = sub.add_parser(
+        "bench",
+        help="kernel hot-path benchmark; writes BENCH_kernel.json",
+    )
+    bench.add_argument(
+        "--scales",
+        type=int,
+        nargs="+",
+        default=list(_bench.DEFAULT_SCALES),
+        help="cluster sizes to measure (default: 64 256 1024)",
+    )
+    bench.add_argument(
+        "--sim-seconds",
+        type=float,
+        default=_bench.DEFAULT_SIM_SECONDS,
+        help="simulated horizon per measurement",
+    )
+    bench.add_argument(
+        "--repetitions",
+        type=int,
+        default=_bench.DEFAULT_REPETITIONS,
+        help="repetitions per scale (best wall time wins)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizing: 64 nodes, 10 sim-s, 1 repetition",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=str(_bench.DEFAULT_BASELINE),
+        help="pre-optimization reference JSON (adds speedup fields)",
+    )
+    bench.add_argument(
+        "--output",
+        default=str(_bench.DEFAULT_OUTPUT),
+        help="where to write the results JSON",
+    )
+
     return parser
 
 
@@ -255,6 +298,24 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             **runner_kwargs,
         )
         print(format_multijob(comparison))
+    elif args.command == "bench":
+        from pathlib import Path
+
+        from repro.experiments import bench as bench_mod
+
+        if args.quick:
+            scales, sim_seconds, repetitions = [64], 10.0, 1
+        else:
+            scales = args.scales
+            sim_seconds = args.sim_seconds
+            repetitions = args.repetitions
+        bench_mod.main(
+            scales=scales,
+            sim_seconds=sim_seconds,
+            repetitions=repetitions,
+            baseline_path=Path(args.baseline),
+            output=Path(args.output),
+        )
     elif args.command == "allocation":
         from repro.experiments.allocation import (
             compare_allocation_quality,

@@ -14,7 +14,7 @@ from repro.power.sockets import (
     speed_with_sockets,
 )
 from repro.sim.engine import Engine
-from repro.sim.events import Event, EventBase
+from repro.sim.events import Event, EventBase, Timeout
 from repro.sim.process import Interrupt, Process
 from repro.workloads.performance import consumed_power_w, speed_under_cap
 from repro.workloads.phases import Phase, Workload
@@ -134,18 +134,20 @@ class WorkloadExecutor:
 
     def _run(self) -> Generator[EventBase, Any, None]:
         spec = self.rapl.spec
+        engine = self.engine
+        set_consumption = self.rapl.set_consumption
         try:
             for self._phase_index, phase in enumerate(self.workload.phases):
                 remaining_work = phase.work_s
                 while remaining_work > 1e-12:
                     speed, draw = self._phase_speed_and_draw(phase)
-                    self.rapl.set_consumption(draw)
-                    segment_start = self.engine.now
+                    set_consumption(draw)
+                    segment_start = engine._now
                     try:
-                        yield self.engine.timeout(remaining_work / speed)
+                        yield Timeout(engine, remaining_work / speed)
                         remaining_work = 0.0
                     except Interrupt as interrupt:
-                        elapsed = self.engine.now - segment_start
+                        elapsed = engine._now - segment_start
                         remaining_work -= elapsed * speed
                         if interrupt.cause == _CAUSE_KILL:
                             raise

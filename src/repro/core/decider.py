@@ -37,7 +37,7 @@ from repro.net.messages import (
 from repro.net.network import Network
 from repro.power.rapl import PowerCapInterface
 from repro.sim.engine import Engine
-from repro.sim.events import EventBase
+from repro.sim.events import EventBase, FirstOf, Timeout
 from repro.sim._stop import stop_process
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Store
@@ -159,45 +159,61 @@ class LocalDecider:
     # -- the control loop (Algorithm 1) ------------------------------------------
 
     def _loop(self) -> Generator[EventBase, Any, None]:
+        # This generator resumes once per node per period for the whole
+        # run; hoist every per-iteration constant (config knobs, safe-range
+        # bounds, collaborator handles) out of the loop so each tick costs
+        # local loads instead of repeated attribute chains.
         config = self.config
+        engine = self.engine
+        rapl = self.rapl
+        pool = self.pool
+        recorder = self.recorder
+        node_id = self.node_id
+        period_s = config.period_s
+        epsilon_w = config.epsilon_w
+        enable_urgency = config.enable_urgency
+        min_cap_w = rapl.spec.min_cap_w
+        max_cap_w = rapl.spec.max_cap_w
         try:
             stagger = config.effective_stagger_s
             if stagger > 0:
-                yield self.engine.timeout(float(self._rng.uniform(0.0, stagger)))
+                yield engine.timeout(float(self._rng.uniform(0.0, stagger)))
             # Fixed-cadence ticks ("iterates once every second", §4.5): the
             # next iteration lands at start + k*T regardless of how long a
             # response wait took, like a real timer-driven daemon.
-            next_tick = self.engine.now
+            next_tick = engine._now
             while True:
-                next_tick += config.period_s
-                if next_tick > self.engine.now:
-                    yield self.engine.timeout(next_tick - self.engine.now)
+                next_tick += period_s
+                if next_tick > engine._now:
+                    # Direct construction (== engine.timeout) on the
+                    # once-per-node-per-period path.
+                    yield Timeout(engine, next_tick - engine._now)
                 self.iterations += 1
                 self._absorb_stale_grants()
-                power_w = self.rapl.read_power()
+                power_w = rapl.read_power()
                 cap_w = self.cap_w
                 urgency = False
 
-                if power_w < cap_w - config.epsilon_w:
+                if power_w < cap_w - epsilon_w:
                     # -- excess branch ------------------------------------
                     delta = cap_w - power_w
                     # Never cap below the node's safe minimum: release only
                     # what the safe range allows (§2.1 second constraint).
-                    delta = min(delta, cap_w - self.rapl.spec.min_cap_w)
+                    delta = min(delta, cap_w - min_cap_w)
                     if delta > 0:
                         self._set_cap(cap_w - delta)  # lower cap FIRST
-                        self.pool.deposit(delta)
-                        self.recorder.transaction(
-                            time=self.engine.now,
+                        pool.deposit(delta)
+                        recorder.transaction(
+                            time=engine._now,
                             kind="release",
-                            src=self.node_id,
-                            dst=self.node_id,
+                            src=node_id,
+                            dst=node_id,
                             watts=delta,
                         )
                 else:
                     # -- power-hungry branch ---------------------------------
-                    headroom = self.rapl.spec.max_cap_w - cap_w
-                    if self.pool.balance_w > 0:
+                    headroom = max_cap_w - cap_w
+                    if pool.balance_w > 0:
                         # Urgency applies to local discovery too: a node
                         # below its initial cap may take back enough of its
                         # own cached power to return to that cap in one
@@ -206,22 +222,22 @@ class LocalDecider:
                         # requests "are allowed access to as much excess
                         # power as they can locate until the urgent node
                         # reaches its initial cap").
-                        allowed = self.pool.max_transaction_w()
-                        if config.enable_urgency and cap_w < self.initial_cap_w:
+                        allowed = pool.max_transaction_w()
+                        if enable_urgency and cap_w < self.initial_cap_w:
                             allowed = max(allowed, self.initial_cap_w - cap_w)
-                        delta = self.pool.withdraw_up_to(min(allowed, headroom))
+                        delta = pool.withdraw_up_to(min(allowed, headroom))
                         if delta > 0:
                             self._raise_cap(delta)
-                            self.recorder.transaction(
-                                time=self.engine.now,
+                            recorder.transaction(
+                                time=engine._now,
                                 kind="local",
-                                src=self.node_id,
-                                dst=self.node_id,
+                                src=node_id,
+                                dst=node_id,
                                 watts=delta,
                             )
                     elif self.peers and headroom > 0:
                         urgency = (
-                            config.enable_urgency and cap_w < self.initial_cap_w
+                            enable_urgency and cap_w < self.initial_cap_w
                         )
                         granted = yield from self._request_from_peer(urgency)
                         if granted > 0:
@@ -229,20 +245,20 @@ class LocalDecider:
 
                 # -- distributed urgency back-pressure ---------------------
                 if (
-                    config.enable_urgency
+                    enable_urgency
                     and not urgency
-                    and self.pool.local_urgency
+                    and pool.local_urgency
                 ):
-                    self.pool.consume_local_urgency()
+                    pool.consume_local_urgency()
                     release = self.cap_w - self.initial_cap_w
                     if release > 0:
                         self._set_cap(self.cap_w - release)
-                        self.pool.deposit(release)
-                        self.recorder.transaction(
-                            time=self.engine.now,
+                        pool.deposit(release)
+                        recorder.transaction(
+                            time=engine._now,
                             kind="induced-release",
-                            src=self.node_id,
-                            dst=self.node_id,
+                            src=node_id,
+                            dst=node_id,
                             watts=release,
                         )
         except Interrupt:
@@ -294,35 +310,47 @@ class LocalDecider:
         self.requests_sent += 1
         if urgent:
             self.urgent_requests_sent += 1
-        sent_at = self.engine.now
+        engine = self.engine
+        sent_at = engine._now
         self.network.send(request)
 
-        deadline = self.engine.timeout(self.config.timeout_s)
+        deadline = engine.timeout(self.config.timeout_s)
         granted = 0.0
         timed_out = False
-        while True:
-            get_event = self.inbox.get()
-            outcome = yield self.engine.any_of([get_event, deadline])
-            del outcome
-            if not get_event.triggered:
-                # Timeout: withdraw the getter so it cannot swallow a late
-                # grant that the next iteration should absorb instead.
-                self.inbox.cancel_get(get_event)
-                timed_out = True
-                self.recorder.bump("decider.request_timeouts")
-                break
-            message = get_event.value
-            if isinstance(message, PowerGrant) and message.reply_to == request.msg_id:
-                granted = message.delta
-                if granted > 0:
-                    self.applied_grants_w += granted
-                break
-            # A stale grant from an earlier timed-out request: bank it.
-            self._absorb_grant(message)
+        try:
+            while True:
+                get_event = self.inbox.get()
+                # Lean two-event wait: same wake-up/failure semantics as
+                # any_of([get_event, deadline]) without the condition
+                # bookkeeping (this wait happens once per request).
+                yield FirstOf(engine, get_event, deadline)
+                if not get_event.triggered:
+                    # Timeout: withdraw the getter so it cannot swallow a late
+                    # grant that the next iteration should absorb instead.
+                    self.inbox.cancel_get(get_event)
+                    timed_out = True
+                    self.recorder.bump("decider.request_timeouts")
+                    break
+                message = get_event.value
+                if isinstance(message, PowerGrant) and message.reply_to == request.msg_id:
+                    granted = message.delta
+                    if granted > 0:
+                        self.applied_grants_w += granted
+                    break
+                # A stale grant from an earlier timed-out request: bank it.
+                self._absorb_grant(message)
+        finally:
+            # A grant that beat the deadline leaves the deadline armed; an
+            # orphaned deadline would still surface from the heap, churn the
+            # event loop, and inflate processed_events at scale.  Defuse it
+            # (lazy deletion).  The finally also covers the decider being
+            # interrupted mid-wait (node kill / shutdown).
+            if not deadline.processed:
+                deadline.cancel()
         self.recorder.turnaround(
-            time=self.engine.now,
+            time=engine._now,
             node=self.node_id,
-            wait_s=self.engine.now - sent_at,
+            wait_s=engine._now - sent_at,
             granted_w=granted,
             timed_out=timed_out,
         )

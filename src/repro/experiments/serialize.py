@@ -234,10 +234,21 @@ def network_stats_to_dict(stats: NetworkStats) -> Dict[str, Any]:
 
 
 def network_stats_from_dict(data: Dict[str, Any]) -> NetworkStats:
+    if "dropped_dead_src" in data:
+        dead_src = data["dropped_dead_src"]
+        dead_dst = data["dropped_dead_dst"]
+    else:
+        # Legacy cache files predate the send-time/arrival-time split and
+        # carry only the merged counter; the breakdown is unrecoverable, so
+        # attribute it to the send side -- ``dropped`` and ``dropped_dead``
+        # aggregates stay exact either way.
+        dead_src = data["dropped_dead"]
+        dead_dst = 0
     return NetworkStats(
         sent=data["sent"],
         delivered=data["delivered"],
-        dropped_dead=data["dropped_dead"],
+        dropped_dead_src=dead_src,
+        dropped_dead_dst=dead_dst,
         dropped_partition=data["dropped_partition"],
         dropped_overflow=data["dropped_overflow"],
         dropped_unattached=data["dropped_unattached"],

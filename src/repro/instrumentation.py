@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransactionEvent:
     """One power movement.
 
@@ -35,7 +35,7 @@ class TransactionEvent:
     urgent: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TurnaroundSample:
     """Time a decider spent waiting for a pool/server response."""
 
@@ -46,7 +46,7 @@ class TurnaroundSample:
     timed_out: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapSample:
     """A node's requested powercap after a decider iteration."""
 
@@ -145,8 +145,17 @@ class MetricsRecorder:
 
 
 def merge_recorders(recorders: Iterable[MetricsRecorder]) -> MetricsRecorder:
-    """Merge several runs' logs (used by repetition sweeps)."""
-    merged = MetricsRecorder()
+    """Merge several runs' logs (used by repetition sweeps).
+
+    The merged recorder samples caps only if at least one input did:
+    large-scale sweeps disable cap recording to bound memory, and merging
+    must not silently re-enable it (the merged log would then mix runs
+    that recorded caps with runs that could not have).
+    """
+    recorders = list(recorders)
+    merged = MetricsRecorder(
+        record_caps=any(r._record_caps for r in recorders) if recorders else True
+    )
     for recorder in recorders:
         merged.transactions.extend(recorder.transactions)
         merged.turnarounds.extend(recorder.turnarounds)

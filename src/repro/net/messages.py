@@ -51,7 +51,7 @@ PORT_POOL = "pool"
 PORT_SERVER = "server"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base class for all network messages.
 
@@ -76,7 +76,7 @@ class Message:
         return type(self).__name__
 
 
-@dataclass
+@dataclass(slots=True)
 class PowerRequest(Message):
     """Ask ``dst`` for power.
 
@@ -97,7 +97,7 @@ class PowerRequest(Message):
             raise ValueError("alpha is only meaningful on urgent requests")
 
 
-@dataclass
+@dataclass(slots=True)
 class PowerGrant(Message):
     """Reply to a :class:`PowerRequest` carrying ``delta`` watts."""
 
@@ -111,7 +111,7 @@ class PowerGrant(Message):
             raise ValueError(f"delta must be non-negative, got {self.delta!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class ExcessReport(Message):
     """Deposit ``delta`` watts of freed power with ``dst`` (SLURM server)."""
 
@@ -122,7 +122,7 @@ class ExcessReport(Message):
             raise ValueError(f"excess must be positive, got {self.delta!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class ReleaseDirective(Message):
     """Centralized urgency: server tells ``dst`` to fall back to its
     initial cap and surrender the excess."""

@@ -3,24 +3,34 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional, Set
+from typing import Dict, Optional, Set
 
 import numpy as np
 
 from repro.net.messages import Addr, Message
 from repro.net.topology import Topology
 from repro.sim.engine import Engine
-from repro.sim.events import EventBase
+from repro.sim.events import Callback
 from repro.sim.resources import Store
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
-    """Counters exposed for tests and the scaling analysis."""
+    """Counters exposed for tests and the scaling analysis.
+
+    Dead-node drops are split by *when* the death mattered: a message
+    from an already-dead sender is dropped at send time
+    (``dropped_dead_src``), while a destination that dies with the
+    message in flight drops it at arrival time (``dropped_dead_dst``).
+    Fault experiments need the distinction -- the first measures traffic
+    the dead node would have generated, the second measures collateral
+    loss on the live side of a crash.
+    """
 
     sent: int = 0
     delivered: int = 0
-    dropped_dead: int = 0
+    dropped_dead_src: int = 0
+    dropped_dead_dst: int = 0
     dropped_partition: int = 0
     dropped_overflow: int = 0
     dropped_unattached: int = 0
@@ -28,9 +38,15 @@ class NetworkStats:
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
+    def dropped_dead(self) -> int:
+        """Back-compat aggregate of both dead-node drop modes."""
+        return self.dropped_dead_src + self.dropped_dead_dst
+
+    @property
     def dropped(self) -> int:
         return (
-            self.dropped_dead
+            self.dropped_dead_src
+            + self.dropped_dead_dst
             + self.dropped_partition
             + self.dropped_overflow
             + self.dropped_unattached
@@ -102,35 +118,44 @@ class Network:
 
         Dropping is silent from the sender's perspective, exactly like UDP:
         the protocols above recover via response timeouts.
-        """
-        self.stats.sent += 1
-        kind = message.kind
-        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
-        message.send_time = self.engine.now
 
+        RNG stream-alignment contract: every ``send`` consumes exactly one
+        latency draw from the network stream *before* any drop check (plus
+        one loss draw per send whenever ``loss_probability > 0``).  Drops
+        therefore never shift the stream positions of later messages, so
+        a nominal run and a faulty run with the same seed stay aligned
+        draw-for-draw -- the property that makes nominal-vs-faulty result
+        pairing meaningful.
+
+        Delivery is a single :class:`~repro.sim.events.Callback` event
+        scheduled directly on the engine queue; the arrival-time checks
+        live in :meth:`_deliver`.
+        """
+        stats = self.stats
+        stats.sent += 1
+        kind = message.kind
+        stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        message.send_time = self.engine._now
+        delay = self.topology.latency.sample(
+            message.src.node, message.dst.node, self._rng
+        )
         if message.src.node in self._dead:
-            self.stats.dropped_dead += 1
+            stats.dropped_dead_src += 1
             return
         if self.loss_probability > 0.0 and float(
             self._rng.random()
         ) < self.loss_probability:
-            self.stats.dropped_loss += 1
+            stats.dropped_loss += 1
             return
-        delay = self.topology.latency.sample(
-            message.src.node, message.dst.node, self._rng
-        )
-        self.engine.process(
-            self._deliver_later(message, delay), name=f"deliver#{message.msg_id}"
-        )
+        # Direct Callback construction (== engine.call_later) saves a call
+        # per message on the simulation's hottest path.
+        Callback(self.engine, delay, self._deliver, message)
 
-    def _deliver_later(
-        self, message: Message, delay: float
-    ) -> Generator[EventBase, Any, None]:
-        yield self.engine.timeout(delay)
+    def _deliver(self, message: Message) -> None:
         # Conditions are evaluated at *arrival* time: a destination that died
         # in flight still loses the message.
         if message.dst.node in self._dead:
-            self.stats.dropped_dead += 1
+            self.stats.dropped_dead_dst += 1
             return
         if not self.topology.reachable(message.src.node, message.dst.node):
             self.stats.dropped_partition += 1

@@ -17,7 +17,7 @@ import numpy as np
 from repro.net.messages import Addr, Message
 from repro.net.network import Network
 from repro.sim.engine import Engine
-from repro.sim.events import EventBase
+from repro.sim.events import EventBase, Timeout
 from repro.sim._stop import stop_process
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Store
@@ -111,15 +111,22 @@ class RequestServer:
         return float(self._rng.uniform(self._service_lo, self._service_hi))
 
     def _serve(self) -> Generator[EventBase, Any, None]:
+        # Hoist per-request constants: this loop resumes once per message
+        # cluster-wide, making it one of the hottest generators in a run.
+        engine = self.engine
+        inbox = self.inbox
+        handler = self.handler
+        send = self.network.send
+        sample = self._sample_service_time
         try:
             while True:
-                message = yield self.inbox.get()
-                cost = self._sample_service_time()
+                message = yield inbox.get()
+                cost = sample()
                 if cost > 0.0:
-                    yield self.engine.timeout(cost)
+                    yield Timeout(engine, cost)
                 self.busy_time += cost
                 self.requests_served += 1
-                for reply in self.handler(message):
-                    self.network.send(reply)
+                for reply in handler(message):
+                    send(reply)
         except Interrupt:
             return

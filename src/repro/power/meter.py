@@ -50,13 +50,19 @@ class EnergyMeter:
         """Change the instantaneous draw (integrating the elapsed segment)."""
         if power_w < 0:
             raise ValueError(f"power cannot be negative, got {power_w!r}")
-        self._integrate_to_now()
+        # Inlined _integrate_to_now: the executor calls this on every phase
+        # change and cap enforcement.
+        now = self.engine._now
+        dt = now - self._last_update
+        if dt > 0:
+            self._energy_j += self._power_w * dt
+            self._last_update = now
         self._power_w = power_w
         if self._trace is not None:
-            self._trace.append((self.engine.now, power_w))
+            self._trace.append((now, power_w))
 
     def _integrate_to_now(self) -> None:
-        now = self.engine.now
+        now = self.engine._now
         dt = now - self._last_update
         if dt > 0:
             self._energy_j += self._power_w * dt
@@ -76,7 +82,7 @@ class EnergyMeter:
 
         Returns the instantaneous power when the window is empty.
         """
-        now = self.engine.now
+        now = self.engine._now
         window = now - t0
         if window <= 0:
             return self._power_w

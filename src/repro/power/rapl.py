@@ -10,14 +10,14 @@ effect after a convergence delay (RAPL converges on average in under
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.power.domain import PowerDomainSpec
 from repro.power.meter import EnergyMeter
 from repro.sim.engine import Engine
-from repro.sim.events import EventBase
+from repro.sim.events import Callback
 
 
 class PowerCapInterface(abc.ABC):
@@ -136,17 +136,11 @@ class SimulatedRapl(PowerCapInterface):
         if delay == 0.0:
             self._enforce(clamped, self._set_version)
         else:
-            self.engine.process(
-                self._enforce_later(clamped, self._set_version, delay),
-                name="rapl-enforce",
-            )
+            # A single callback event, not a process: cap writes happen on
+            # nearly every decider iteration, making enforcement one of the
+            # kernel's hottest paths.
+            Callback(self.engine, delay, self._enforce, clamped, self._set_version)
         return clamped
-
-    def _enforce_later(
-        self, cap: float, version: int, delay: float
-    ) -> Generator[EventBase, Any, None]:
-        yield self.engine.timeout(delay)
-        self._enforce(cap, version)
 
     def _enforce(self, cap: float, version: int) -> None:
         if version != self._set_version:
@@ -174,7 +168,7 @@ class SimulatedRapl(PowerCapInterface):
         """
         self.power_reads += 1
         average = self.meter.average_since(self._last_read_time, self._last_read_energy)
-        self._last_read_time = self.engine.now
+        self._last_read_time = self.engine._now
         self._last_read_energy = self.meter.energy_j()
         if self._noise > 0.0:
             average *= 1.0 + float(self._rng.normal(0.0, self._noise))

@@ -9,6 +9,7 @@ is processed.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -33,7 +34,15 @@ class EventBase:
         Optional human-readable label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("engine", "name", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = (
+        "engine",
+        "name",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, engine: "Engine", name: Optional[str] = None) -> None:
         self.engine = engine
@@ -47,6 +56,10 @@ class EventBase:
         # the exception at the top level unless the failure was "defused" by
         # being delivered into a process.
         self._defused = False
+        # Lazily-deleted queue entries (see Timeout.cancel): the engine
+        # discards cancelled events when they reach the front of the heap
+        # instead of processing them.
+        self._cancelled = False
 
     # -- state inspection ------------------------------------------------
 
@@ -83,9 +96,18 @@ class EventBase:
         """
         if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         self._ok = True
         self._value = value
-        self.engine._schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+        # Inlined Engine._schedule: triggering is one of the kernel's
+        # hottest operations (every grant, inbox hand-off and process
+        # completion lands here).
+        engine = self.engine
+        heappush(
+            engine._queue,
+            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self),
+        )
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "EventBase":
@@ -98,9 +120,15 @@ class EventBase:
             raise TypeError(f"fail() requires an exception, got {exception!r}")
         if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         self._ok = False
         self._value = exception
-        self.engine._schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+        engine = self.engine
+        heappush(
+            engine._queue,
+            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self),
+        )
         return self
 
     # -- engine interface ------------------------------------------------
@@ -148,11 +176,136 @@ class Timeout(EventBase):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(engine, name=name)
-        self.delay = delay
-        self._ok = True
+        # Inlined EventBase.__init__ + Engine._schedule: timeouts are the
+        # single most-allocated event type (every tick, wait and deadline),
+        # so the constructor avoids the two extra calls.
+        self.engine = engine
+        self.name = name
+        self.callbacks = []
         self._value = value
-        engine._schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
+        heappush(
+            engine._queue,
+            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self),
+        )
+
+    def cancel(self) -> None:
+        """Abandon the timeout before it fires (lazy deletion).
+
+        The queue entry stays on the heap but is discarded -- uncounted
+        and without running callbacks -- when it surfaces, so cancelling
+        is O(1) instead of an O(n) heap removal.  Hot paths that arm a
+        deadline per request (e.g. the decider's bounded wait for a
+        grant) use this to stop abandoned deadlines from churning the
+        event loop at scale.
+
+        Only the owner of a timeout may cancel it: any callbacks already
+        registered (by conditions or waiting processes) will never run.
+        Cancelling an already-processed timeout is an error.
+        """
+        if self.callbacks is None:
+            raise RuntimeError(f"{self!r} has already been processed")
+        self._cancelled = True
+
+
+class Callback(EventBase):
+    """A pre-succeeded event that runs ``fn(*args)`` when processed.
+
+    The cheap alternative to spawning a generator :class:`Process` for
+    one-shot deferred work: a full process costs three queue events
+    (initialize, timeout, completion) plus a generator frame, while a
+    ``Callback`` is a single queue entry whose processing is one direct
+    call.  Message delivery and RAPL cap enforcement -- the simulation's
+    hottest paths -- run on these.
+
+    The event triggers successfully with ``None``; waiters registered via
+    ``callbacks`` are notified after ``fn`` returns, so a ``Callback`` can
+    still be yielded on like any other event.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative callback delay: {delay!r}")
+        # Inlined EventBase.__init__ + Engine._schedule (hot path, see
+        # class docstring).
+        self.engine = engine
+        self.name = name
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        self._fn = fn
+        self._args = args
+        heappush(
+            engine._queue,
+            (engine._now + delay, priority, next(engine._sequence), self),
+        )
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        self._fn(*self._args)
+        for callback in callbacks:
+            callback(self)
+
+
+class FirstOf(EventBase):
+    """Lean two-event ``AnyOf`` for hot wait loops.
+
+    Triggers with ``None`` as soon as either sub-event is processed
+    (failing instead when that first sub-event failed, exactly like
+    :class:`AnyOf`).  Unlike a full condition there is no
+    :class:`ConditionValue` snapshot: callers that only need the wake-up
+    and inspect the sub-events themselves (e.g. the decider's
+    grant-or-deadline wait, once per request cluster-wide) save the
+    condition bookkeeping on every wait.
+
+    Both sub-events must be unprocessed at construction.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self, engine: "Engine", first: EventBase, second: EventBase
+    ) -> None:
+        if first.callbacks is None or second.callbacks is None:
+            raise RuntimeError("FirstOf sub-events must be unprocessed")
+        # Inlined EventBase.__init__ (hot path).
+        self.engine = engine
+        self.name = None
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        first.callbacks.append(self._on_sub)
+        second.callbacks.append(self._on_sub)
+
+    def _on_sub(self, event: EventBase) -> None:
+        if self._value is not _PENDING:
+            # Late failures of sub-events must not be silently lost.
+            if not event._ok:
+                event._defused = True
+            return
+        if event._ok:
+            self.succeed(None)
+        else:
+            event._defused = True
+            self.fail(event._value)
 
 
 class ConditionValue:

@@ -9,7 +9,7 @@ other.
 
 from __future__ import annotations
 
-import inspect
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import PRIORITY_URGENT, EventBase
@@ -33,12 +33,19 @@ class _Initialize(EventBase):
     __slots__ = ()
 
     def __init__(self, engine: "Engine", process: "Process") -> None:
-        super().__init__(engine)
-        self._ok = True
+        # Inlined EventBase.__init__ + Engine._schedule: one _Initialize per
+        # process, and request/response protocols spawn processes freely.
+        self.engine = engine
+        self.name = None
+        self.callbacks = [process._resume]
         self._value = None
-        assert self.callbacks is not None
-        self.callbacks.append(process._resume)
-        engine._schedule(self, delay=0.0, priority=PRIORITY_URGENT)
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        heappush(
+            engine._queue,
+            (engine._now, PRIORITY_URGENT, next(engine._sequence), self),
+        )
 
 
 class _Interruption(EventBase):
@@ -47,18 +54,26 @@ class _Interruption(EventBase):
     __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
-        super().__init__(process.engine)
         if process.processed:
             raise RuntimeError(f"{process!r} has already terminated")
         if process.is_initializing:
             raise RuntimeError(f"{process!r} has not started yet")
-        self.process = process
-        self._ok = False
+        # Inlined EventBase.__init__ + Engine._schedule: every enforced cap
+        # change interrupts the workload executor, so interruptions are a
+        # per-iteration cost at scale.
+        engine = process.engine
+        self.engine = engine
+        self.name = None
+        self.callbacks = [self._deliver]
         self._value = Interrupt(cause)
+        self._ok = False
         self._defused = True
-        assert self.callbacks is not None
-        self.callbacks.append(self._deliver)
-        process.engine._schedule(self, delay=0.0, priority=PRIORITY_URGENT)
+        self._cancelled = False
+        self.process = process
+        heappush(
+            engine._queue,
+            (engine._now, PRIORITY_URGENT, next(engine._sequence), self),
+        )
 
     def _deliver(self, event: EventBase) -> None:
         process = self.process
@@ -113,7 +128,10 @@ class Process(EventBase):
         """True before the generator's first resume."""
         if self.triggered:
             return False
-        return inspect.getgeneratorstate(self._generator) == inspect.GEN_CREATED
+        # Structural check instead of inspect.getgeneratorstate(): the
+        # target is the _Initialize event exactly until the first resume
+        # (interrupt() consults this on a hot path).
+        return type(self._target) is _Initialize
 
     @property
     def target(self) -> Optional[EventBase]:
@@ -156,35 +174,37 @@ class Process(EventBase):
     def _resume(self, event: EventBase) -> None:
         """Advance the generator with ``event``'s outcome."""
         self._target = None
-        self.engine._active_process = self
+        engine = self.engine
+        generator = self._generator
+        engine._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The failure is being delivered: it will surface inside
                     # the process, so it no longer needs top-level handling.
                     event._defused = True
                     exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
-                self.engine._active_process = None
+                engine._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
-                self.engine._active_process = None
+                engine._active_process = None
                 self.fail(exc)
                 return
 
             if not isinstance(next_event, EventBase):
-                self.engine._active_process = None
+                engine._active_process = None
                 error = RuntimeError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
                 self.fail(error)
                 return
-            if next_event.engine is not self.engine:
-                self.engine._active_process = None
+            if next_event.engine is not engine:
+                engine._active_process = None
                 self.fail(RuntimeError("yielded event belongs to a different engine"))
                 return
 
@@ -195,4 +215,4 @@ class Process(EventBase):
                 break
             # Already processed: loop and deliver its value immediately.
             event = next_event
-        self.engine._active_process = None
+        engine._active_process = None

@@ -37,6 +37,7 @@ class Lock:
     def __init__(self, engine: "Engine", name: Optional[str] = None) -> None:
         self.engine = engine
         self.name = name or "lock"
+        self._acquire_name = f"{self.name}.acquire"
         self._waiters: Deque[Event] = deque()
         self._locked = False
         #: Diagnostic: how many times the lock has been acquired.
@@ -48,7 +49,7 @@ class Lock:
 
     def acquire(self) -> EventBase:
         """Request the lock; the returned event fires when it is granted."""
-        event = Event(self.engine, name=f"{self.name}.acquire")
+        event = Event(self.engine, name=self._acquire_name)
         if not self._locked:
             self._locked = True
             self.acquisitions += 1
@@ -96,6 +97,8 @@ class Store:
         self.engine = engine
         self.capacity = capacity
         self.name = name or "store"
+        # Event labels are per-call on the hottest paths; build them once.
+        self._get_name = f"{self.name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         #: Counters for observability (drop rate is central to Fig. 5/7).
@@ -135,7 +138,7 @@ class Store:
 
     def get(self) -> EventBase:
         """Return an event yielding the oldest item once available."""
-        event = Event(self.engine, name=f"{self.name}.get")
+        event = Event(self.engine, name=self._get_name)
         if self._items:
             event.succeed(self._items.popleft())
         else:

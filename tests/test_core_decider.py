@@ -281,3 +281,20 @@ class TestLifecycle:
         assert not rig.decider.is_urgent
         rig.decider.cap_w = 100.0
         assert rig.decider.is_urgent
+
+
+class TestDeadlineCancellation:
+    def test_answered_request_cancels_its_timeout(self):
+        rig = Rig()
+        rig.peer_pool.deposit(50.0)
+        rig.set_draw(INITIAL_CAP)
+        rig.run_periods(1)
+        assert rig.decider.requests_sent == 1
+        (sample,) = rig.decider.recorder.turnarounds
+        assert not sample.timed_out
+        assert sample.granted_w > 0
+        # Run past where the orphaned deadline would have fired: the
+        # timeout of the answered request must be discarded unprocessed,
+        # not linger in the queue until its deadline.
+        rig.engine.run(until=rig.engine.now + rig.config.timeout_s + 1.0)
+        assert rig.engine.cancelled_events >= 1

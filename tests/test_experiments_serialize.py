@@ -19,6 +19,7 @@ from repro.experiments.runner import spec_fingerprint
 from repro.managers.base import ManagerConfig
 from repro.managers.slurm import SlurmConfig
 from repro.managers.slurm_ha import HaSlurmConfig
+from repro.net.network import NetworkStats
 
 
 def json_round_trip(data):
@@ -224,3 +225,27 @@ class TestSpecProperties:
             json_round_trip(serialize.spec_to_dict(spec))
         )
         assert spec_fingerprint(decoded) == spec_fingerprint(spec)
+
+
+class TestNetworkStatsBackCompat:
+    def test_legacy_merged_dead_counter_decodes(self):
+        stats = NetworkStats(sent=9, delivered=5, dropped_dead_src=2)
+        legacy = serialize.network_stats_to_dict(stats)
+        del legacy["dropped_dead_src"]
+        del legacy["dropped_dead_dst"]
+        legacy["dropped_dead"] = 2
+        decoded = serialize.network_stats_from_dict(legacy)
+        assert decoded.dropped_dead_src == 2
+        assert decoded.dropped_dead_dst == 0
+        assert decoded.dropped_dead == 2
+        assert decoded.dropped == 2
+
+    def test_split_counters_round_trip(self):
+        stats = NetworkStats(
+            sent=10, delivered=5, dropped_dead_src=2, dropped_dead_dst=3
+        )
+        decoded = serialize.network_stats_from_dict(
+            json_round_trip(serialize.network_stats_to_dict(stats))
+        )
+        assert decoded == stats
+        assert decoded.dropped_dead == 5

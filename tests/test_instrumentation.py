@@ -66,3 +66,24 @@ class TestMerge:
     def test_merge_empty(self):
         merged = merge_recorders([])
         assert merged.transactions == []
+
+    def test_merge_propagates_caps_disabled(self):
+        a = MetricsRecorder(record_caps=False)
+        b = MetricsRecorder(record_caps=False)
+        merged = merge_recorders([a, b])
+        merged.cap(1.0, 0, 100.0)
+        assert merged.caps == []
+
+    def test_merge_samples_caps_if_any_input_did(self):
+        a = MetricsRecorder(record_caps=False)
+        b = MetricsRecorder(record_caps=True)
+        b.cap(1.0, 0, 100.0)
+        merged = merge_recorders([a, b])
+        assert len(merged.caps) == 1
+        merged.cap(2.0, 1, 90.0)
+        assert len(merged.caps) == 2
+
+    def test_merge_empty_defaults_to_recording(self):
+        merged = merge_recorders([])
+        merged.cap(1.0, 0, 100.0)
+        assert len(merged.caps) == 1

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.net.messages import PORT_DECIDER, PORT_POOL, Addr, PowerGrant, PowerRequest
@@ -150,3 +151,68 @@ class TestAttachment:
         net.attach(Addr(1, PORT_POOL), inbox)
         assert net.inbox_of(Addr(1, PORT_POOL)) is inbox
         assert net.inbox_of(Addr(2, PORT_POOL)) is None
+
+
+class TestDeadDropSplit:
+    """Dead-node drops are attributed to send time vs arrival time."""
+
+    def test_dead_source_counted_as_src(self, engine, net):
+        net.mark_dead(0)
+        net.send(request(0, 1))
+        engine.run()
+        assert net.stats.dropped_dead_src == 1
+        assert net.stats.dropped_dead_dst == 0
+        assert net.stats.dropped_dead == 1
+
+    def test_death_in_flight_counted_as_dst(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.send(request(0, 1))
+        net.mark_dead(1)
+        engine.run()
+        assert net.stats.dropped_dead_src == 0
+        assert net.stats.dropped_dead_dst == 1
+        assert net.stats.dropped_dead == 1
+
+    def test_both_modes_aggregate(self, engine, net):
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        net.send(request(0, 1))
+        net.mark_dead(1)  # in-flight destination death
+        net.mark_dead(2)
+        net.send(request(2, 3))  # dead source
+        engine.run()
+        assert net.stats.dropped_dead_src == 1
+        assert net.stats.dropped_dead_dst == 1
+        assert net.stats.dropped_dead == 2
+        assert net.stats.dropped == 2
+
+
+class TestStreamAlignment:
+    """One latency draw per send, *before* drop checks (see Network.send)."""
+
+    @staticmethod
+    def _arrival_time(kill_first_sender: bool) -> float:
+        from repro.sim.engine import Engine
+
+        engine = Engine()
+        rng = np.random.default_rng(42)
+        net = Network(engine, Topology(4, latency=LatencyModel(sigma=0.3)), rng)
+        inbox = Store(engine)
+        net.attach(Addr(1, PORT_POOL), inbox)
+        arrival = {}
+
+        def watch():
+            yield inbox.get()
+            arrival["t"] = engine.now
+
+        engine.process(watch())
+        if kill_first_sender:
+            net.mark_dead(2)
+        net.send(request(2, 3))  # dropped at send in the faulty variant
+        net.send(request(0, 1))  # must arrive at the same instant either way
+        engine.run()
+        return arrival["t"]
+
+    def test_drop_does_not_shift_later_latency_draws(self):
+        assert self._arrival_time(False) == self._arrival_time(True)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.engine import Engine
-from repro.sim.events import AllOf, AnyOf, Event
+from repro.sim.events import AllOf, AnyOf, Event, FirstOf
 
 
 class TestEventLifecycle:
@@ -176,3 +176,94 @@ class TestAllOf:
         foreign = Event(other_engine)
         with pytest.raises(ValueError):
             AllOf(engine, [engine.event(), foreign])
+
+
+class TestTimeoutCancel:
+    def test_cancelled_timeout_never_runs_callbacks(self, engine):
+        fired = []
+        timeout = engine.timeout(1.0)
+        timeout.callbacks.append(fired.append)
+        timeout.cancel()
+        engine.run()
+        assert fired == []
+        assert engine.processed_events == 0
+        assert engine.cancelled_events == 1
+        # A discarded entry does not advance the clock.
+        assert engine.now == 0.0
+
+    def test_cancel_after_processing_rejected(self, engine):
+        timeout = engine.timeout(0.0)
+        engine.run()
+        with pytest.raises(RuntimeError):
+            timeout.cancel()
+
+    def test_cancelled_head_purged_by_peek(self, engine):
+        doomed = engine.timeout(1.0)
+        engine.timeout(2.0)
+        doomed.cancel()
+        assert engine.peek() == 2.0
+        assert engine.cancelled_events == 1
+
+    def test_step_raises_when_only_cancelled_left(self, engine):
+        doomed = engine.timeout(1.0)
+        doomed.cancel()
+        with pytest.raises(IndexError):
+            engine.step()
+
+    def test_cancelled_event_between_live_events(self, engine):
+        order = []
+        first = engine.timeout(1.0, value="first")
+        doomed = engine.timeout(2.0)
+        last = engine.timeout(3.0, value="last")
+        for event in (first, last):
+            event.callbacks.append(lambda e: order.append(e.value))
+        doomed.cancel()
+        engine.run()
+        assert order == ["first", "last"]
+        assert engine.processed_events == 2
+        assert engine.cancelled_events == 1
+
+
+class TestFirstOf:
+    def test_fires_when_first_subevent_processes(self, engine):
+        a = engine.timeout(1.0, value="a")
+        b = engine.timeout(2.0, value="b")
+        wait = FirstOf(engine, a, b)
+
+        def waiter():
+            value = yield wait
+            return (value, engine.now)
+
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == (None, 1.0)
+
+    def test_failure_of_first_subevent_propagates(self, engine):
+        a = engine.event()
+        b = engine.timeout(5.0)
+        wait = FirstOf(engine, a, b)
+
+        def waiter():
+            try:
+                yield wait
+            except RuntimeError as exc:
+                return str(exc)
+            return "no failure"
+
+        proc = engine.process(waiter())
+        a.fail(RuntimeError("boom"))
+        engine.run()
+        assert proc.value == "boom"
+
+    def test_late_subevent_failure_is_defused(self, engine):
+        a = engine.timeout(1.0)
+        b = engine.event()
+        FirstOf(engine, a, b)
+        b.fail(RuntimeError("late"), delay=2.0)
+        engine.run()  # must not raise SimulationError
+
+    def test_processed_subevent_rejected(self, engine):
+        a = engine.timeout(0.0)
+        engine.run()
+        with pytest.raises(RuntimeError):
+            FirstOf(engine, a, engine.event())

@@ -10,6 +10,7 @@ Examples::
     python -m repro scaling-scale     --scales 44 132 264
     python -m repro bench                             # kernel perf sweep
     python -m repro bench --quick                     # CI perf smoke
+    python -m repro chaos --seeds 0 1 2 --jobs 3      # audited fault storms
 
 Full paper-sized sweeps take minutes; every command accepts reduced
 parameters for a quick look.  Sweep commands take ``--jobs N`` to fan
@@ -56,6 +57,7 @@ SWEEP_COMMANDS = (
     "scaling-scale",
     "multijob",
     "allocation",
+    "chaos",
 )
 
 
@@ -176,6 +178,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_args(multijob)
     _add_runner_args(allocation)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault storms under a continuous budget auditor",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2], help="one run per seed"
+    )
+    chaos.add_argument("--clients", type=int, default=12)
+    chaos.add_argument("--cap", type=float, default=70.0, help="W per socket")
+    chaos.add_argument("--scale", type=float, default=0.25, help="workload scale")
+    chaos.add_argument(
+        "--duration", type=float, default=60.0, help="simulated seconds per run"
+    )
+    chaos.add_argument("--kills", type=int, default=2, help="nodes killed + restarted")
+    chaos.add_argument("--flaps", type=int, default=2, help="flapping partitions")
+    chaos.add_argument("--bursts", type=int, default=2, help="timed loss bursts")
+    chaos.add_argument(
+        "--burst-loss", type=float, default=0.02, help="loss probability in a burst"
+    )
+    chaos.add_argument(
+        "--base-loss", type=float, default=0.0, help="steady-state loss probability"
+    )
+    chaos.add_argument(
+        "--audit-interval", type=float, default=1.0, help="auditor probe period (s)"
+    )
+    _add_runner_args(chaos)
 
     from repro.experiments import bench as _bench
 
@@ -298,6 +327,30 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             **runner_kwargs,
         )
         print(format_multijob(comparison))
+    elif args.command == "chaos":
+        from repro.experiments.chaos import (
+            chaos_specs,
+            format_chaos,
+            run_chaos_sweep,
+        )
+
+        results = run_chaos_sweep(
+            chaos_specs(
+                args.seeds,
+                n_clients=args.clients,
+                cap_w_per_socket=args.cap,
+                workload_scale=args.scale,
+                duration_s=args.duration,
+                kills=args.kills,
+                flaps=args.flaps,
+                bursts=args.bursts,
+                burst_loss=args.burst_loss,
+                base_loss=args.base_loss,
+                audit_interval_s=args.audit_interval,
+            ),
+            **runner_kwargs,
+        )
+        print(format_chaos(results))
     elif args.command == "bench":
         from pathlib import Path
 

@@ -184,3 +184,19 @@ class Cluster:
         node = self.nodes[node_id]
         node.kill()
         self.network.mark_dead(node_id)
+
+    def revive_node(self, node_id: int, restart_workload: bool = True) -> None:
+        """Restart a crashed node and rejoin it to the network.
+
+        The workload (if any) restarts from scratch; manager daemons are
+        *not* rebuilt here -- that is the power manager's job (it owns
+        the accounting for what the crash destroyed; see
+        ``PowerManager.revive_node``).  Partitions are independent state:
+        a node that was both killed and partitioned stays partitioned
+        until the partition heals.
+        """
+        node = self.nodes[node_id]
+        node.revive()
+        self.network.mark_alive(node_id)
+        if restart_workload and node.executor is not None:
+            node.start_workload()

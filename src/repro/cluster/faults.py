@@ -1,13 +1,23 @@
-"""Fault injection: scheduled node kills and network partitions (§4.4)."""
+"""Fault injection: node kills, restarts, partitions, flapping and loss bursts.
+
+The paper's faulty-environment experiment (§4.4) kills nodes and waits;
+the chaos harness layers churn on top -- crashed nodes restart, links
+flap, and the fabric's loss rate spikes in timed bursts -- so the
+reliable-transfer layer can be audited under the full failure taxonomy.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.sim.engine import run_callable_at
+from repro.sim.events import EventBase
 from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.managers.base import PowerManager
 
 
 def kill_node_at(cluster: Cluster, node_id: int, at_time_s: float) -> Process:
@@ -22,6 +32,30 @@ def kill_node_at(cluster: Cluster, node_id: int, at_time_s: float) -> Process:
         at_time_s,
         lambda: cluster.kill_node(node_id),
         name=f"fault.kill[{node_id}]",
+    )
+
+
+def restart_node_at(
+    cluster: Cluster,
+    manager: "PowerManager",
+    node_id: int,
+    at_time_s: float,
+) -> Process:
+    """Schedule a crash-restart of ``node_id`` through ``manager``.
+
+    The manager owns the restart (it must rebuild daemons and spend the
+    node's write-off); a restart firing while the node is still alive --
+    a schedule whose kill never happened or was itself mis-ordered -- is
+    skipped rather than raised, so randomized chaos schedules stay safe.
+    """
+
+    def _restart() -> None:
+        if cluster.node(node_id).alive:
+            return
+        manager.revive_node(node_id)
+
+    return run_callable_at(
+        cluster.engine, at_time_s, _restart, name=f"fault.restart[{node_id}]"
     )
 
 
@@ -52,6 +86,70 @@ def partition_at(
     )
 
 
+def flap_partition_at(
+    cluster: Cluster,
+    isolated: Sequence[int],
+    at_time_s: float,
+    down_s: float,
+    up_s: float,
+    cycles: int,
+) -> Process:
+    """Schedule a flapping partition: ``cycles`` rounds of partitioned for
+    ``down_s`` then healed for ``up_s``.
+
+    Flapping is the adversarial case for peer suspicion: the link heals
+    before the suspicion decays, so a decider that banned (rather than
+    biased against) a suspected peer would never come back.
+    """
+    isolated = list(isolated)
+    if down_s <= 0 or up_s <= 0:
+        raise ValueError("flap durations must be positive")
+    if cycles < 1:
+        raise ValueError("need at least one flap cycle")
+    engine = cluster.engine
+    topology = cluster.topology
+
+    def _flapper() -> Generator[EventBase, Any, None]:
+        if at_time_s > engine.now:
+            yield engine.timeout(at_time_s - engine.now)
+        for _ in range(cycles):
+            topology.partition(isolated)
+            yield engine.timeout(down_s)
+            topology.heal(isolated)
+            yield engine.timeout(up_s)
+
+    return engine.process(_flapper(), name=f"fault.flap{isolated!r}")
+
+
+def loss_burst_at(
+    cluster: Cluster,
+    probability: float,
+    at_time_s: float,
+    duration_s: float,
+) -> Process:
+    """Schedule a timed loss burst: the fabric's loss probability jumps to
+    ``probability`` for ``duration_s``, then falls back to the cluster's
+    configured base rate.
+
+    Bursts do not stack: each burst's end restores the *base* rate, so
+    overlapping bursts simply extend the degraded window at the level of
+    whichever burst started last.
+    """
+    if duration_s <= 0:
+        raise ValueError("burst duration must be positive")
+    engine = cluster.engine
+    network = cluster.network
+
+    def _burst() -> Generator[EventBase, Any, None]:
+        if at_time_s > engine.now:
+            yield engine.timeout(at_time_s - engine.now)
+        network.set_loss_probability(probability)
+        yield engine.timeout(duration_s)
+        network.set_loss_probability(network.base_loss_probability)
+
+    return engine.process(_burst(), name=f"fault.loss-burst[{probability:g}]")
+
+
 @dataclass
 class FaultPlan:
     """A declarative set of faults applied to a cluster.
@@ -62,12 +160,35 @@ class FaultPlan:
         ``(node_id, at_time_s)`` pairs.
     partitions:
         ``(isolated_ids, at_time_s, heal_after_s_or_None)`` triples.
+    restarts:
+        ``(node_id, at_time_s)`` pairs; require a manager at install time.
+    flaps:
+        ``(isolated_ids, at_time_s, down_s, up_s, cycles)`` tuples.
+    loss_bursts:
+        ``(probability, at_time_s, duration_s)`` triples.
+
+    Ordering contract
+    -----------------
+    :meth:`install` arms faults in **declaration order, not time order**:
+    category by category (kills, then partitions, restarts, flaps, loss
+    bursts), list order within each category.  Because the engine breaks
+    timestamp ties by trigger sequence, faults scheduled for the same
+    instant *fire* in exactly that arming order -- e.g. a kill and a
+    partition both at t=5 apply the kill first.  Callers who need a
+    different same-instant order must encode it in the fault times; the
+    contract is what makes identically-seeded chaos schedules replay
+    identically.
     """
 
     node_kills: List[Tuple[int, float]] = field(default_factory=list)
     partitions: List[Tuple[Tuple[int, ...], float, Optional[float]]] = field(
         default_factory=list
     )
+    restarts: List[Tuple[int, float]] = field(default_factory=list)
+    flaps: List[Tuple[Tuple[int, ...], float, float, float, int]] = field(
+        default_factory=list
+    )
+    loss_bursts: List[Tuple[float, float, float]] = field(default_factory=list)
 
     def kill(self, node_id: int, at_time_s: float) -> "FaultPlan":
         if at_time_s < 0:
@@ -86,17 +207,84 @@ class FaultPlan:
         self.partitions.append((tuple(isolated), at_time_s, heal_after_s))
         return self
 
+    def restart(self, node_id: int, at_time_s: float) -> "FaultPlan":
+        """Crash-restart ``node_id`` at ``at_time_s`` (after its kill)."""
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        self.restarts.append((node_id, at_time_s))
+        return self
+
+    def flap(
+        self,
+        isolated: Sequence[int],
+        at_time_s: float,
+        down_s: float,
+        up_s: float,
+        cycles: int,
+    ) -> "FaultPlan":
+        """Flap a partition: ``cycles`` × (down ``down_s``, up ``up_s``)."""
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if down_s <= 0 or up_s <= 0:
+            raise ValueError("flap durations must be positive")
+        if cycles < 1:
+            raise ValueError("need at least one flap cycle")
+        self.flaps.append((tuple(isolated), at_time_s, down_s, up_s, cycles))
+        return self
+
+    def loss_burst(
+        self, probability: float, at_time_s: float, duration_s: float
+    ) -> "FaultPlan":
+        """Raise the fabric loss rate to ``probability`` for ``duration_s``."""
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if not (0.0 <= probability < 1.0):
+            raise ValueError(f"loss probability out of [0, 1): {probability!r}")
+        if duration_s <= 0:
+            raise ValueError("burst duration must be positive")
+        self.loss_bursts.append((probability, at_time_s, duration_s))
+        return self
+
     @property
     def is_empty(self) -> bool:
-        return not self.node_kills and not self.partitions
+        return not (
+            self.node_kills
+            or self.partitions
+            or self.restarts
+            or self.flaps
+            or self.loss_bursts
+        )
 
-    def install(self, cluster: Cluster) -> List[Process]:
-        """Arm every fault on ``cluster``; returns the injector processes."""
+    def install(
+        self, cluster: Cluster, manager: Optional["PowerManager"] = None
+    ) -> List[Process]:
+        """Arm every fault on ``cluster``; returns the injector processes.
+
+        Arming order is the declaration order documented on the class
+        (category, then list position) -- same-instant faults fire in
+        that order.  Restarts go through ``manager.revive_node`` and
+        therefore require ``manager``.
+        """
+        if self.restarts and manager is None:
+            raise ValueError("fault plan contains restarts; install needs a manager")
         processes = [
             kill_node_at(cluster, node_id, at) for node_id, at in self.node_kills
         ]
         processes += [
             partition_at(cluster, isolated, at, heal)
             for isolated, at, heal in self.partitions
+        ]
+        if manager is not None:
+            processes += [
+                restart_node_at(cluster, manager, node_id, at)
+                for node_id, at in self.restarts
+            ]
+        processes += [
+            flap_partition_at(cluster, isolated, at, down, up, cycles)
+            for isolated, at, down, up, cycles in self.flaps
+        ]
+        processes += [
+            loss_burst_at(cluster, probability, at, duration)
+            for probability, at, duration in self.loss_bursts
         ]
         return processes

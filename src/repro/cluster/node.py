@@ -227,6 +227,32 @@ class SimNode:
         for callback in list(self.on_kill):
             callback()
 
+    def revive(self) -> None:
+        """Restart a crashed node (cold boot).
+
+        The machine comes back empty-handed: kill callbacks are cleared
+        (whoever rebuilds daemons re-registers), and the workload -- if
+        one was assigned -- is rebuilt from scratch, modelling a batch
+        system resubmitting the job; crash progress is lost.  The fresh
+        executor is *not* started (callers sequence that), and its
+        ``settled`` event is new, so completion events built before the
+        crash do not wait on the restarted run.
+        """
+        if self.alive:
+            raise RuntimeError(f"node {self.node_id} is already alive")
+        self.alive = True
+        self.on_kill.clear()
+        old = self.executor
+        if old is not None:
+            # The dead executor's cap listener would interrupt a process
+            # that no longer exists; drop it before rebuilding.
+            try:
+                self.rapl.on_cap_enforced.remove(old._on_cap_enforced)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self.executor = None
+            self.assign_workload(old.workload, overhead_factor=old.overhead_factor)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "alive" if self.alive else "dead"
         return f"<SimNode {self.node_id} {status} cap={self.rapl.cap_w:.1f}W>"

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.managers.base import ManagerConfig
 
@@ -36,6 +36,36 @@ class PenelopeConfig(ManagerConfig):
     #: that actually granted power (falling back to random when it runs
     #: dry) -- a cheap learned-discovery extension for the ablation study.
     discovery: str = "random"
+    #: Reliable-transfer layer.  With escrow on, every positive grant is
+    #: held in the donor pool's escrow until the requester's ``GrantAck``
+    #: arrives; an escrow unacked by its deadline refunds to the donor, so
+    #: grants dropped in flight (loss, partitions, dead requesters) never
+    #: destroy budget.
+    enable_escrow: bool = True
+    #: Escrow refund deadline; ``None`` derives a safe default covering a
+    #: full request timeout plus the stale-grant absorption path (a grant
+    #: arriving just past the requester's timeout is only acked at its
+    #: next iteration tick).
+    escrow_timeout_s: Optional[float] = None
+    #: Extra ack transmissions (one per subsequent decider iteration) on
+    #: top of the immediate ack.  0 keeps nominal traffic at exactly one
+    #: ack per applied grant; chaos runs raise it so a lost ack does not
+    #: leave the refunded-then-applied duplication unrepaired.
+    grant_ack_retries: int = 0
+    #: How many times a timed-out peer request is retried (with backoff)
+    #: within one decider iteration before giving up until the next tick.
+    request_retries: int = 1
+    #: First retry backoff; doubles (``retry_backoff_factor``) per retry,
+    #: stretched by up to ``retry_jitter`` (uniform, seeded from the
+    #: decider's RNG stream) to avoid synchronized retry storms.
+    retry_backoff_s: float = 0.1
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.5
+    #: How long an unresponsive peer stays suspected.  Suspicion biases
+    #: uniform random discovery away from the peer (it is re-drawn, at
+    #: most twice); entries expire after this long, so peers behind a
+    #: healed partition return to the candidate set.
+    suspicion_ttl_s: float = 5.0
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -49,6 +79,34 @@ class PenelopeConfig(ManagerConfig):
             raise ValueError("upper limit below lower limit")
         if self.pool_inbox_capacity <= 0:
             raise ValueError("pool inbox capacity must be positive")
+        if self.escrow_timeout_s is not None and self.escrow_timeout_s <= 0:
+            raise ValueError("escrow timeout must be positive")
+        if self.grant_ack_retries < 0:
+            raise ValueError("grant_ack_retries must be non-negative")
+        if self.request_retries < 0:
+            raise ValueError("request_retries must be non-negative")
+        if self.retry_backoff_s <= 0:
+            raise ValueError("retry backoff must be positive")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry backoff factor must be >= 1")
+        if self.retry_jitter < 0:
+            raise ValueError("retry jitter must be non-negative")
+        if self.suspicion_ttl_s < 0:
+            raise ValueError("suspicion TTL must be non-negative")
+
+    @property
+    def effective_escrow_timeout_s(self) -> float:
+        """The escrow refund deadline actually used.
+
+        The default covers the worst *normal* ack path: the grant rides
+        almost a full request timeout, is absorbed as a stale grant up to
+        one period later, and the ack still has to fly back -- so
+        ``2 * (timeout + period)`` refunds only transfers whose ack is
+        genuinely missing, not merely slow.
+        """
+        if self.escrow_timeout_s is not None:
+            return self.escrow_timeout_s
+        return 2.0 * (self.timeout_s + self.period_s)
 
     def with_period(self, period_s: float) -> "PenelopeConfig":
         return replace(self, period_s=period_s, response_timeout_s=None)

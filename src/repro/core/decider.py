@@ -16,11 +16,21 @@ At the end of the iteration the decider honours the pool's
 ``localUrgency`` flag: if some other node's urgent request hit our pool
 and we are not ourselves urgent, release everything above the initial cap
 so the urgent node can find it (distributed urgency, §3.1-3.2).
+
+Fault tolerance
+---------------
+Every received :class:`~repro.net.messages.PowerGrant` with positive
+delta is acknowledged with a :class:`~repro.net.messages.GrantAck` so the
+donor pool can settle its escrow (see :mod:`repro.core.pool`).  Timed-out
+requests are retried with exponential backoff and jitter, and peers that
+time out are *suspected* for a while: uniform random discovery re-draws
+(at most twice) when it lands on a suspected peer, steering traffic away
+from crashed or partitioned nodes until the suspicion expires.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +41,7 @@ from repro.net.messages import (
     PORT_DECIDER,
     PORT_POOL,
     Addr,
+    GrantAck,
     PowerGrant,
     PowerRequest,
 )
@@ -102,8 +113,16 @@ class LocalDecider:
         self.iterations = 0
         self.requests_sent = 0
         self.urgent_requests_sent = 0
+        #: Zero-delta grants received (an empty pool answering honestly --
+        #: protocol-conformant, counted apart from unexpected messages).
+        self.empty_grants = 0
         self._ring_index = node_id  # offset ring starts across the cluster
         self._sticky_peer: Optional[int] = None  # "sticky" discovery memory
+        #: Suspected peers: node id -> simulated time the suspicion expires.
+        self._suspicion: Dict[int, float] = {}
+        #: Acks awaiting re-transmission (ack-loss hardening): list of
+        #: ``[donor addr, grant id, delta, resends left]``.
+        self._pending_acks: List[List[Any]] = []
         self._process: Optional[Process] = None
 
     # -- state inspection ---------------------------------------------------
@@ -123,14 +142,24 @@ class LocalDecider:
     def start(self) -> Process:
         if self._process is not None and self._process.is_alive:
             raise RuntimeError(f"decider {self.node_id} already running")
+        # A stopped decider detached its endpoint; re-attach on restart.
+        if self.network.inbox_of(self.addr) is not self.inbox:
+            self.network.attach(self.addr, self.inbox)
         self._process = self.engine.process(
             self._loop(), name=f"decider@{self.node_id}"
         )
         return self._process
 
     def stop(self) -> None:
+        """Stop the control loop and detach the decider endpoint.
+
+        Detaching lets a crash-restarted replacement decider attach the
+        same address; messages already in flight to a dead node are
+        dropped at delivery time by the network's dead check regardless.
+        """
         if self._process is not None:
             stop_process(self._process)
+        self.network.detach(self.addr)
 
     # -- cap helpers -----------------------------------------------------------
 
@@ -189,6 +218,7 @@ class LocalDecider:
                     # once-per-node-per-period path.
                     yield Timeout(engine, next_tick - engine._now)
                 self.iterations += 1
+                self._flush_pending_acks()
                 self._absorb_stale_grants()
                 power_w = rapl.read_power()
                 cap_w = self.cap_w
@@ -273,6 +303,14 @@ class LocalDecider:
         ``ring`` walks peers round-robin; ``sticky`` returns to the last
         peer that actually granted power, falling back to random once it
         runs dry.
+
+        Random discovery is suspicion-aware: a draw landing on a
+        recently-unresponsive peer is re-drawn, at most twice, so a
+        crashed or partitioned neighbourhood sheds traffic without ever
+        becoming unreachable (an unlucky third draw still goes through --
+        a bias, not a ban).  While no peer is suspected the single-draw
+        RNG pattern is untouched.  Expired suspicions are purged lazily
+        on the way.
         """
         if self.config.discovery == "ring":
             peer = self.peers[self._ring_index % len(self.peers)]
@@ -280,7 +318,27 @@ class LocalDecider:
             return int(peer)
         if self.config.discovery == "sticky" and self._sticky_peer is not None:
             return self._sticky_peer
-        return int(self.peers[int(self._rng.integers(0, len(self.peers)))])
+        peers = self.peers
+        rng = self._rng
+        peer = int(peers[int(rng.integers(0, len(peers)))])
+        if self._suspicion:
+            now = self.engine._now
+            for _ in range(2):
+                expiry = self._suspicion.get(peer)
+                if expiry is None:
+                    break
+                if expiry <= now:
+                    del self._suspicion[peer]
+                    break
+                self.recorder.bump("decider.suspicion_redraws")
+                peer = int(peers[int(rng.integers(0, len(peers)))])
+        return peer
+
+    def _suspect(self, peer: int) -> None:
+        """Bias discovery away from ``peer`` until the suspicion expires."""
+        ttl = self.config.suspicion_ttl_s
+        if ttl > 0:
+            self._suspicion[peer] = self.engine._now + ttl
 
     def _note_grant_outcome(self, peer: int, granted_w: float) -> None:
         """Update sticky-discovery state after a transaction."""
@@ -292,10 +350,48 @@ class LocalDecider:
             self._sticky_peer = None
 
     def _request_from_peer(self, urgent: bool) -> Generator[EventBase, Any, float]:
+        """Request power from peers, retrying timeouts with backoff.
+
+        Returns the granted watts (0 when every attempt timed out or the
+        answering pool was empty).  Each retry waits an exponentially
+        growing backoff stretched by seeded jitter, then re-draws a peer
+        (the timed-out one is now suspected, so discovery steers away
+        from it).  A zero-delta grant is a definitive answer, not a
+        failure -- it is never retried.
+
+        Retries only spend what remains of the current iteration's
+        period: a retry whose worst-case backoff-plus-timeout would
+        overrun the next tick is skipped, so the fixed-cadence loop (the
+        §4.5 frequency semantics) never slips.  With the default
+        ``timeout == period`` the first attempt is the whole budget and
+        behavior is exactly the paper's one-request-per-iteration;
+        configs with a shorter response timeout get in-period retries.
+        """
+        config = self.config
+        engine = self.engine
+        deadline = engine._now + config.period_s
+        granted, timed_out = yield from self._attempt_request(urgent)
+        attempts = 0
+        backoff = config.retry_backoff_s
+        while timed_out and attempts < config.request_retries:
+            worst_wait = backoff * (1.0 + config.retry_jitter)
+            if engine._now + worst_wait + config.timeout_s > deadline:
+                break
+            attempts += 1
+            jitter = 1.0 + config.retry_jitter * float(self._rng.random())
+            yield Timeout(engine, backoff * jitter)
+            backoff *= config.retry_backoff_factor
+            self.recorder.bump("decider.request_retries")
+            granted, timed_out = yield from self._attempt_request(urgent)
+        return granted
+
+    def _attempt_request(
+        self, urgent: bool
+    ) -> Generator[EventBase, Any, Tuple[float, bool]]:
         """Send one request and wait (bounded) for its grant.
 
-        Returns the granted watts (0 on timeout or empty grant).  A grant
-        that arrives *after* the timeout is not lost: the next iteration's
+        Returns ``(granted watts, timed out)``.  A grant that arrives
+        *after* the timeout is not lost: the next iteration's
         :meth:`_absorb_stale_grants` deposits it into the local pool.
         """
         peer = self._choose_peer()
@@ -329,13 +425,19 @@ class LocalDecider:
                     # grant that the next iteration should absorb instead.
                     self.inbox.cancel_get(get_event)
                     timed_out = True
+                    self._suspect(peer)
                     self.recorder.bump("decider.request_timeouts")
                     break
                 message = get_event.value
                 if isinstance(message, PowerGrant) and message.reply_to == request.msg_id:
+                    self._suspicion.pop(peer, None)
+                    self._acknowledge_grant(message)
                     granted = message.delta
                     if granted > 0:
                         self.applied_grants_w += granted
+                    else:
+                        self.empty_grants += 1
+                        self.recorder.bump("decider.empty_grants")
                     break
                 # A stale grant from an earlier timed-out request: bank it.
                 self._absorb_grant(message)
@@ -355,7 +457,47 @@ class LocalDecider:
             timed_out=timed_out,
         )
         self._note_grant_outcome(peer, granted)
-        return granted
+        return granted, timed_out
+
+    # -- grant acknowledgement ----------------------------------------------------
+
+    def _acknowledge_grant(self, grant: PowerGrant) -> None:
+        """Send the donor pool its escrow receipt (at-most-once settle).
+
+        Zero-delta grants carry no escrow and need no ack.  With
+        ``grant_ack_retries > 0`` the ack is also queued for
+        re-transmission on the next iterations, shrinking the window in
+        which a lost ack leaves the donor to refund an applied grant.
+        """
+        if grant.delta <= 0 or not self.config.enable_escrow:
+            return
+        self.network.send(
+            GrantAck(
+                src=self.addr,
+                dst=grant.src,
+                reply_to=grant.msg_id,
+                delta=grant.delta,
+            )
+        )
+        if self.config.grant_ack_retries > 0:
+            self._pending_acks.append(
+                [grant.src, grant.msg_id, grant.delta, self.config.grant_ack_retries]
+            )
+
+    def _flush_pending_acks(self) -> None:
+        """Re-send queued acks (one round per iteration) until exhausted."""
+        if not self._pending_acks:
+            return
+        send = self.network.send
+        remaining: List[List[Any]] = []
+        for entry in self._pending_acks:
+            dst, grant_id, delta, resends = entry
+            send(GrantAck(src=self.addr, dst=dst, reply_to=grant_id, delta=delta))
+            self.recorder.bump("decider.ack_resends")
+            if resends > 1:
+                entry[3] = resends - 1
+                remaining.append(entry)
+        self._pending_acks = remaining
 
     # -- stale-grant recovery ----------------------------------------------------
 
@@ -370,9 +512,16 @@ class LocalDecider:
             self._absorb_grant(self.inbox.get_nowait())
 
     def _absorb_grant(self, message: Any) -> None:
-        if isinstance(message, PowerGrant) and message.delta > 0:
-            self.applied_grants_w += message.delta
-            self.pool.deposit(message.delta)
-            self.recorder.bump("decider.stale_grants_banked")
+        if isinstance(message, PowerGrant):
+            if message.delta > 0:
+                self._acknowledge_grant(message)
+                self.applied_grants_w += message.delta
+                self.pool.deposit(message.delta)
+                self.recorder.bump("decider.stale_grants_banked")
+            else:
+                # An empty pool answering honestly is protocol-conformant,
+                # not noise -- counted apart from unexpected messages.
+                self.empty_grants += 1
+                self.recorder.bump("decider.empty_grants")
         else:
             self.recorder.bump("decider.unexpected_messages")

@@ -1,24 +1,45 @@
-"""The power pool: Algorithm 2 of the paper.
+"""The power pool: Algorithm 2 of the paper, plus escrowed transfers.
 
 Each node hosts a pool -- a local cache of freed power that also serves
 requests from other nodes' deciders.  All mutations of the pool balance
 run atomically with respect to the event loop, mirroring the paper's
 "simple lock" (§3.3): the request handler and the co-located decider's
 deposits/withdrawals never interleave mid-update.
+
+Escrowed grants (fault tolerance)
+---------------------------------
+A grant dropped in flight used to destroy budget permanently: the pool
+balance was already decremented and nothing ever refunded it.  With
+escrow enabled, every positive grant is tracked until the requester's
+:class:`~repro.net.messages.GrantAck` arrives; an entry still unacked at
+its deadline is refunded into the pool.  The two-generals corner -- the
+grant applied but its *ack* lost, so the refund duplicates power -- is
+repaired when a late ack finally lands: the pool reclaims the refunded
+watts from its balance, recording any shortfall as ``reclaim_debt_w``
+that future deposits pay down first.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import PenelopeConfig
 from repro.instrumentation import MetricsRecorder
-from repro.net.messages import PORT_POOL, Addr, Message, PowerGrant, PowerRequest
+from repro.net.messages import (
+    PORT_POOL,
+    Addr,
+    GrantAck,
+    Message,
+    PowerGrant,
+    PowerRequest,
+)
 from repro.net.network import Network
 from repro.net.server import RequestServer
 from repro.sim.engine import Engine
+from repro.sim.events import Callback
 
 
 def clamp_transaction(pool_w: float, rate: float, lower_w: float, upper_w: float) -> float:
@@ -35,6 +56,13 @@ def clamp_transaction(pool_w: float, rate: float, lower_w: float, upper_w: float
     return size
 
 
+#: How many settled/refunded grant ids each pool remembers for duplicate
+#: and late-ack classification.  Old entries age out FIFO; an ack landing
+#: after eviction is counted as unknown (diagnostics only -- the power
+#: accounting is already closed for those ids).
+_ESCROW_HISTORY = 512
+
+
 class PowerPool:
     """A node's local cache of excess power plus its request server.
 
@@ -45,7 +73,8 @@ class PowerPool:
       ``local_urgency`` flag set by urgent requests;
     * the network side -- a :class:`~repro.net.server.RequestServer`
       answering :class:`~repro.net.messages.PowerRequest` messages per
-      Algorithm 2.
+      Algorithm 2 and settling :class:`~repro.net.messages.GrantAck`
+      receipts against the escrow ledger.
     """
 
     def __init__(
@@ -77,10 +106,23 @@ class PowerPool:
             name=f"pool@{node_id}",
         )
         #: Watts granted to remote requesters (in-flight accounting is done
-        #: by the manager via this counter).
+        #: by the manager via this counter).  Escrow refunds decrement it;
+        #: reclaims and debt paydowns re-increment it, so
+        #: ``granted_out - applied`` stays an exact (signed) ledger term.
         self.granted_out_w = 0.0
         self.requests_handled = 0
         self.urgent_requests_handled = 0
+        #: Open escrow: grant msg_id -> (delta, requester node, refund timer).
+        self._escrow: Dict[int, Tuple[float, int, Callback]] = {}
+        self._escrow_w = 0.0
+        #: Refunded-but-unacked grants (id -> delta): a late ack reclaims.
+        self._refunded: "OrderedDict[int, float]" = OrderedDict()
+        #: Settled grant ids, to tell re-sent acks from unknown ones.
+        self._settled: "OrderedDict[int, bool]" = OrderedDict()
+        #: Watts the pool owes back after a reclaim found the balance short
+        #: (the refund was already re-granted or withdrawn); deposits pay
+        #: this down before touching the balance.
+        self.reclaim_debt_w = 0.0
 
     # -- balance (decider-side API) ----------------------------------------
 
@@ -88,15 +130,37 @@ class PowerPool:
     def balance_w(self) -> float:
         return self._balance_w
 
+    @property
+    def escrow_w(self) -> float:
+        """Watts currently held in open escrow (subset of granted-out)."""
+        return self._escrow_w
+
     def deposit(self, watts: float) -> None:
         """Add freed power to the cache.
 
         The caller must have lowered its cap *first* (Algorithm 1 lowers
         ``C_{t+1}`` before ``Pool += Δ``) so the system-wide budget is
-        never transiently exceeded.
+        never transiently exceeded.  Outstanding reclaim debt is paid
+        down before the remainder lands in the balance.
         """
         if watts < 0:
             raise ValueError(f"cannot deposit negative power: {watts!r}")
+        self._credit(watts)
+
+    def _credit(self, watts: float) -> None:
+        """Route incoming watts: reclaim debt first, balance second.
+
+        Paying debt re-increments ``granted_out_w`` -- the debt exists
+        because a refund duplicated watts that were also applied by the
+        requester, so the paydown moves real watts back into the
+        granted-out ledger term where the duplicate is parked.
+        """
+        if self.reclaim_debt_w > 0.0:
+            pay = min(self.reclaim_debt_w, watts)
+            self.reclaim_debt_w -= pay
+            self.granted_out_w += pay
+            watts -= pay
+            self.recorder.bump("pool.debt_paydowns")
         self._balance_w += watts
 
     def withdraw_up_to(self, watts: float) -> float:
@@ -106,6 +170,17 @@ class PowerPool:
         taken = min(self._balance_w, watts)
         self._balance_w -= taken
         return taken
+
+    def forfeit_balance(self) -> float:
+        """Zero the balance and return what it held (dead-node write-off).
+
+        Called by the manager when this pool's node crashes: the cached
+        watts are gone with the node, and the manager records them in its
+        write-off ledger so conservation stays exact.
+        """
+        forfeited = self._balance_w
+        self._balance_w = 0.0
+        return forfeited
 
     def max_transaction_w(self) -> float:
         """The current non-urgent transaction cap (``getMaxSize``)."""
@@ -121,6 +196,9 @@ class PowerPool:
     # -- server side (Algorithm 2) ---------------------------------------------
 
     def _handle_request(self, message: Message) -> Tuple[Message, ...]:
+        if isinstance(message, GrantAck):
+            self._handle_grant_ack(message)
+            return ()
         if not isinstance(message, PowerRequest):
             # Foreign message kinds are ignored (robustness, not protocol).
             self.recorder.bump("pool.unexpected_message")
@@ -156,7 +234,85 @@ class PowerPool:
             reply_to=message.msg_id,
             urgent=message.urgent,
         )
+        if delta > 0 and self.config.enable_escrow:
+            self._open_escrow(reply.msg_id, delta, message.src.node)
         return (reply,)
+
+    # -- escrow lifecycle --------------------------------------------------------
+
+    def _open_escrow(self, grant_id: int, delta: float, requester: int) -> None:
+        timer = Callback(
+            self.engine,
+            self.config.effective_escrow_timeout_s,
+            self._expire_escrow,
+            grant_id,
+            name=f"escrow[{self.node_id}->{requester}#{grant_id}]",
+        )
+        self._escrow[grant_id] = (delta, requester, timer)
+        self._escrow_w += delta
+
+    def _expire_escrow(self, grant_id: int) -> None:
+        """Refund an escrow whose ack never arrived (timer callback)."""
+        entry = self._escrow.pop(grant_id, None)
+        if entry is None:  # pragma: no cover - settled acks cancel the timer
+            return
+        delta, requester, _ = entry
+        self._escrow_w -= delta
+        self.granted_out_w -= delta
+        self._credit(delta)
+        self._remember(self._refunded, grant_id, delta)
+        self.recorder.bump("pool.escrow_refunds")
+        self.recorder.transaction(
+            time=self.engine.now,
+            kind="refund",
+            src=self.node_id,
+            dst=requester,
+            watts=delta,
+        )
+
+    def _handle_grant_ack(self, ack: GrantAck) -> None:
+        grant_id = ack.reply_to
+        entry = self._escrow.pop(grant_id, None)
+        if entry is not None:
+            delta, _, timer = entry
+            self._escrow_w -= delta
+            if not timer.processed:
+                timer.cancel()
+            self._remember(self._settled, grant_id, True)
+            self.recorder.bump("pool.escrow_settled")
+            return
+        if grant_id in self._refunded:
+            # The grant *was* applied; the refund duplicated its watts.
+            # Claw back what the balance still holds and book the rest as
+            # debt for future deposits to repay.
+            delta = self._refunded.pop(grant_id)
+            reclaimed = min(self._balance_w, delta)
+            self._balance_w -= reclaimed
+            self.granted_out_w += reclaimed
+            shortfall = delta - reclaimed
+            if shortfall > 0:
+                self.reclaim_debt_w += shortfall
+            self._remember(self._settled, grant_id, True)
+            self.recorder.bump("pool.escrow_reclaims")
+            if reclaimed > 0:
+                self.recorder.transaction(
+                    time=self.engine.now,
+                    kind="reclaim",
+                    src=ack.src.node,
+                    dst=self.node_id,
+                    watts=reclaimed,
+                )
+            return
+        if grant_id in self._settled:
+            self.recorder.bump("pool.duplicate_acks")
+        else:
+            self.recorder.bump("pool.unknown_acks")
+
+    @staticmethod
+    def _remember(history: "OrderedDict", key: int, value) -> None:
+        history[key] = value
+        while len(history) > _ESCROW_HISTORY:
+            history.popitem(last=False)
 
     def consume_local_urgency(self) -> bool:
         """Read-and-clear the localUrgency flag (decider side)."""
@@ -170,4 +326,17 @@ class PowerPool:
         self.server.start()
 
     def stop(self) -> None:
+        """Crash/stop the pool.
+
+        Open escrow entries are *not* refunded: the refund would land in
+        a dead pool (and, if the in-flight grant is later applied, would
+        duplicate watts with nobody left to reclaim them).  The deltas
+        stay parked in ``granted_out_w``, where the manager's signed
+        in-flight term accounts for them whichever way the grant resolves.
+        """
         self.server.stop()
+        for _, _, timer in self._escrow.values():
+            if not timer.processed:
+                timer.cancel()
+        self._escrow.clear()
+        self._escrow_w = 0.0

@@ -6,6 +6,8 @@
 * :mod:`repro.experiments.nominal` -- §4.3 / Figure 2.
 * :mod:`repro.experiments.faulty` -- §4.4 / Figure 3.
 * :mod:`repro.experiments.scaling` -- §4.5 / Figures 4-8.
+* :mod:`repro.experiments.chaos` -- randomized fault storms under a
+  continuous budget-conservation auditor.
 * :mod:`repro.experiments.runner` -- parallel sweep executor + result cache.
 * :mod:`repro.experiments.serialize` -- JSON codecs for specs and results.
 * :mod:`repro.experiments.report` -- text tables in the paper's format.

@@ -1,0 +1,385 @@
+"""Chaos sweep: randomized fault schedules under a continuous budget auditor.
+
+The nominal and faulty experiments audit conservation *once*, after the
+run.  That is too weak for the escrowed-transfer protocol: a leak that a
+later refund happens to cancel would pass a final audit.  This module
+runs Penelope under a seeded storm of kills, crash-restarts, flapping
+partitions and loss bursts while a :class:`BudgetAuditor` daemon samples
+the :class:`~repro.core.manager.ConservationLedger` every few simulated
+seconds and asserts, at every sample, that
+
+    freed + escrowed + pooled + capped == budget - dead-node write-offs
+
+to within float tolerance -- zero watts silently destroyed, at every
+instant, not just at the end.  Every sampled term lands in the
+recorder's ledger-sample log so a run's full conservation trajectory can
+be replayed from its cache file.
+
+The fault schedule is derived deterministically from the spec's seed (a
+dedicated RNG registry, so the schedule never perturbs the simulation's
+own streams): same spec, same storm, same trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.faults import FaultPlan
+from repro.core.config import PenelopeConfig
+from repro.core.manager import ConservationLedger, PenelopeManager
+from repro.experiments import serialize
+from repro.experiments.runner import TaskKind, run_sweep
+from repro.instrumentation import MetricsRecorder
+from repro.net.network import NetworkStats
+from repro.sim._stop import stop_process
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.workloads.generator import assign_pair_to_cluster
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos run: cluster shape plus fault-storm intensity.
+
+    The concrete schedule (who dies when, which links flap, when the
+    fabric degrades) is *derived* from ``seed`` by
+    :func:`build_chaos_plan`; the spec only fixes the storm's intensity,
+    which keeps the cache key small and the schedule reproducible.
+    """
+
+    n_clients: int = 12
+    pair: Tuple[str, str] = ("MG", "EP")
+    cap_w_per_socket: float = 70.0
+    seed: int = 0
+    duration_s: float = 60.0
+    workload_scale: float = 0.25
+    #: Nodes killed (each gets a paired restart later in the run).
+    kills: int = 2
+    #: Flapping single-node partitions.
+    flaps: int = 2
+    #: Timed fabric loss bursts.
+    bursts: int = 2
+    #: Loss probability during a burst (the acceptance criterion's 2%).
+    burst_loss: float = 0.02
+    #: Steady-state fabric loss between bursts.
+    base_loss: float = 0.0
+    #: Auditor probe period (simulated seconds).
+    audit_interval_s: float = 1.0
+    #: Reliable-transfer knobs exercised by the storm.  The response
+    #: timeout is shorter than the decider period so the period-bounded
+    #: retry budget actually admits retries.
+    response_timeout_s: float = 0.3
+    request_retries: int = 2
+    grant_ack_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 4:
+            raise ValueError("chaos runs need at least four client nodes")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.kills < 0 or self.flaps < 0 or self.bursts < 0:
+            raise ValueError("fault counts must be non-negative")
+        if self.kills >= self.n_clients:
+            raise ValueError("cannot kill every client node")
+        if not (0.0 <= self.burst_loss < 1.0):
+            raise ValueError(f"burst loss out of [0, 1): {self.burst_loss!r}")
+        if self.audit_interval_s <= 0:
+            raise ValueError("audit interval must be positive")
+
+    @property
+    def budget_w(self) -> float:
+        """System budget: the per-socket cap over all client sockets."""
+        return self.cap_w_per_socket * 2 * self.n_clients
+
+
+def build_chaos_plan(spec: ChaosSpec) -> FaultPlan:
+    """Derive ``spec``'s randomized fault schedule, deterministically.
+
+    * **Kills** hit distinct victims in the first half of the run; each
+      victim restarts 10-30% of the run later (always before the end,
+      so the auditor sees the write-off both grow and get spent).
+    * **Flaps** isolate one node for a few short down/up cycles --
+      the adversarial case for peer suspicion.
+    * **Loss bursts** raise the fabric loss rate to ``burst_loss`` for
+      5-15% of the run.
+
+    The schedule RNG is a dedicated registry keyed only by the seed;
+    the simulation's own registry (same seed, different stream names)
+    never sees these draws.
+    """
+    rng = RngRegistry(seed=spec.seed).stream("chaos.schedule")
+    plan = FaultPlan()
+    horizon = spec.duration_s
+    victims = rng.choice(spec.n_clients, size=spec.kills, replace=False)
+    for victim in victims:
+        killed_at = float(rng.uniform(0.15, 0.5) * horizon)
+        restart_at = killed_at + float(rng.uniform(0.10, 0.30) * horizon)
+        plan.kill(int(victim), killed_at)
+        plan.restart(int(victim), min(restart_at, 0.95 * horizon))
+    for _ in range(spec.flaps):
+        flapped = int(rng.integers(spec.n_clients))
+        at = float(rng.uniform(0.10, 0.60) * horizon)
+        down_s = float(rng.uniform(0.02, 0.05) * horizon)
+        up_s = float(rng.uniform(0.02, 0.05) * horizon)
+        cycles = int(rng.integers(2, 5))
+        plan.flap([flapped], at, down_s, up_s, cycles)
+    for _ in range(spec.bursts):
+        at = float(rng.uniform(0.10, 0.80) * horizon)
+        duration_s = float(rng.uniform(0.05, 0.15) * horizon)
+        plan.loss_burst(spec.burst_loss, at, duration_s)
+    return plan
+
+
+class BudgetAuditor:
+    """Daemon asserting budget conservation at every probe.
+
+    Each probe snapshots the manager's :class:`ConservationLedger`,
+    calls its :meth:`~ConservationLedger.check` (strict equality modulo
+    float tolerance) *and* the base §2.1 :meth:`~PowerManager.audit`
+    (budget never exceeded, caps never unsafe), then records every
+    ledger term as a :class:`~repro.instrumentation.LedgerSample`.  A
+    violated invariant raises out of the engine loop immediately --
+    chaos runs fail loudly at the first destroyed watt, with the full
+    term breakdown in the exception.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        manager: PenelopeManager,
+        interval_s: float = 1.0,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("audit interval must be positive")
+        self.engine = engine
+        self.manager = manager
+        self.interval_s = interval_s
+        self.recorder = recorder if recorder is not None else manager.recorder
+        self.ledgers: List[ConservationLedger] = []
+        self.max_abs_residual_w = 0.0
+        self._process: Optional[Process] = None
+
+    def start(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("auditor already running")
+        self._process = self.engine.process(self._run(), name="chaos.auditor")
+
+    def stop(self) -> None:
+        if self._process is not None:
+            stop_process(self._process)
+            self._process = None
+
+    def probe(self) -> ConservationLedger:
+        """Sample, assert and record one conservation snapshot."""
+        ledger = self.manager.ledger()
+        ledger.check()
+        self.manager.audit().check()
+        for name in (
+            "caps_live_w",
+            "caps_dead_w",
+            "pooled_w",
+            "escrow_w",
+            "in_flight_w",
+            "write_offs_w",
+            "reclaim_debt_w",
+        ):
+            self.recorder.sample(ledger.time, name, getattr(ledger, name))
+        self.recorder.sample(ledger.time, "residual_w", ledger.residual_w)
+        self.recorder.bump("auditor.probes")
+        self.ledgers.append(ledger)
+        self.max_abs_residual_w = max(
+            self.max_abs_residual_w, abs(ledger.residual_w)
+        )
+        return ledger
+
+    def _run(self):
+        while True:
+            yield self.engine.timeout(self.interval_s)
+            self.probe()
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run (all invariants held, or it raised)."""
+
+    spec: ChaosSpec
+    #: The schedule that was applied (as its serialized form).
+    schedule: Dict[str, Any]
+    n_audits: int
+    max_abs_residual_w: float
+    final: ConservationLedger
+    recorder: MetricsRecorder
+    network: NetworkStats
+
+
+def run_chaos_single(spec: ChaosSpec) -> ChaosResult:
+    """Run one seeded chaos storm to its horizon under continuous audit."""
+    engine = Engine()
+    rngs = RngRegistry(seed=spec.seed)
+    config = PenelopeConfig(
+        response_timeout_s=spec.response_timeout_s,
+        request_retries=spec.request_retries,
+        grant_ack_retries=spec.grant_ack_retries,
+    )
+    manager = PenelopeManager(
+        config=config, recorder=MetricsRecorder(record_caps=False)
+    )
+    cluster_config = ClusterConfig(
+        n_nodes=spec.n_clients,
+        system_power_budget_w=spec.budget_w,
+        message_loss_probability=spec.base_loss,
+    )
+    cluster = Cluster(engine, cluster_config, rngs)
+    assignment = assign_pair_to_cluster(
+        spec.pair,
+        range(spec.n_clients),
+        rng=rngs.stream("workload.jitter"),
+        scale=spec.workload_scale,
+    )
+    cluster.install_assignment(
+        assignment, overhead_factor=config.overhead_factor
+    )
+    manager.install(
+        cluster, client_ids=list(range(spec.n_clients)), budget_w=spec.budget_w
+    )
+    plan = build_chaos_plan(spec)
+    plan.install(cluster, manager)
+    auditor = BudgetAuditor(engine, manager, interval_s=spec.audit_interval_s)
+    cluster.start_workloads()
+    manager.start()
+    auditor.start()
+    engine.run(until=spec.duration_s)
+    # One last probe at the horizon: the interval grid need not land on it.
+    final = auditor.probe()
+    auditor.stop()
+    manager.stop()
+    return ChaosResult(
+        spec=spec,
+        schedule=serialize.fault_plan_to_dict(plan),
+        n_audits=len(auditor.ledgers),
+        max_abs_residual_w=auditor.max_abs_residual_w,
+        final=final,
+        recorder=manager.recorder,
+        network=cluster.network.stats,
+    )
+
+
+# -- JSON codecs (cache round-trip) ------------------------------------------
+
+
+def chaos_spec_to_dict(spec: ChaosSpec) -> Dict[str, Any]:
+    data = dataclasses.asdict(spec)
+    data["pair"] = list(spec.pair)
+    return data
+
+
+def chaos_spec_from_dict(data: Dict[str, Any]) -> ChaosSpec:
+    kwargs = dict(data)
+    kwargs["pair"] = tuple(kwargs["pair"])
+    return ChaosSpec(**kwargs)
+
+
+def ledger_to_dict(ledger: ConservationLedger) -> Dict[str, Any]:
+    return dataclasses.asdict(ledger)
+
+
+def ledger_from_dict(data: Dict[str, Any]) -> ConservationLedger:
+    return ConservationLedger(**data)
+
+
+def chaos_result_to_dict(result: ChaosResult) -> Dict[str, Any]:
+    return {
+        "spec": chaos_spec_to_dict(result.spec),
+        "schedule": result.schedule,
+        "n_audits": result.n_audits,
+        "max_abs_residual_w": result.max_abs_residual_w,
+        "final": ledger_to_dict(result.final),
+        "recorder": serialize.recorder_to_dict(result.recorder),
+        "network": serialize.network_stats_to_dict(result.network),
+    }
+
+
+def chaos_result_from_dict(data: Dict[str, Any]) -> ChaosResult:
+    return ChaosResult(
+        spec=chaos_spec_from_dict(data["spec"]),
+        schedule=data["schedule"],
+        n_audits=data["n_audits"],
+        max_abs_residual_w=data["max_abs_residual_w"],
+        final=ledger_from_dict(data["final"]),
+        recorder=serialize.recorder_from_dict(data["recorder"]),
+        network=serialize.network_stats_from_dict(data["network"]),
+    )
+
+
+CHAOS_RUN = TaskKind(
+    name="chaos",
+    fn=run_chaos_single,
+    spec_to_dict=chaos_spec_to_dict,
+    result_to_dict=chaos_result_to_dict,
+    result_from_dict=chaos_result_from_dict,
+)
+
+
+def chaos_specs(
+    seeds: Sequence[int],
+    **overrides: Any,
+) -> List[ChaosSpec]:
+    """One spec per seed, sharing every other (overridable) parameter."""
+    return [ChaosSpec(seed=seed, **overrides) for seed in seeds]
+
+
+def run_chaos_sweep(
+    specs: Sequence[ChaosSpec],
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[Any] = None,
+) -> List[ChaosResult]:
+    """Run a chaos sweep through the common parallel/cached executor."""
+    return run_sweep(
+        specs,
+        kind=CHAOS_RUN,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+
+
+def format_chaos(results: Sequence[ChaosResult]) -> str:
+    """Text table: one row per seed, plus a conservation verdict."""
+    lines = [
+        "Chaos sweep: randomized kills/restarts/flaps/loss bursts, "
+        "continuously audited",
+        "",
+        f"{'seed':>6} {'audits':>7} {'max|resid| W':>13} {'kills':>6} "
+        f"{'restarts':>9} {'flaps':>6} {'bursts':>7} {'refunds':>8} "
+        f"{'reclaims':>9} {'retries':>8}",
+    ]
+    for result in results:
+        counters = result.recorder.counters
+        lines.append(
+            f"{result.spec.seed:>6} {result.n_audits:>7} "
+            f"{result.max_abs_residual_w:>13.3e} "
+            f"{len(result.schedule['node_kills']):>6} "
+            f"{len(result.schedule['restarts']):>9} "
+            f"{len(result.schedule['flaps']):>6} "
+            f"{len(result.schedule['loss_bursts']):>7} "
+            f"{counters.get('pool.escrow_refunds', 0):>8} "
+            f"{counters.get('pool.escrow_reclaims', 0):>9} "
+            f"{counters.get('decider.request_retries', 0):>8}"
+        )
+    total_audits = sum(r.n_audits for r in results)
+    worst = max((r.max_abs_residual_w for r in results), default=0.0)
+    lines.append("")
+    lines.append(
+        f"{total_audits} conservation probes held "
+        f"(worst residual {worst:.3e} W <= "
+        f"{ConservationLedger.TOLERANCE_W:g} W tolerance)"
+    )
+    return "\n".join(lines)

@@ -172,7 +172,7 @@ def build_run(spec: RunSpec):
         cluster, client_ids=list(range(spec.n_clients)), budget_w=spec.budget_w
     )
     if spec.fault_plan is not None:
-        spec.fault_plan.install(cluster)
+        spec.fault_plan.install(cluster, manager)
     return engine, cluster, manager
 
 

@@ -19,7 +19,9 @@ from repro.experiments.scaling import ScalingResult
 
 def describe_spec(spec: object) -> str:
     """A one-line human label for any sweep spec type."""
-    parts = [str(getattr(spec, "manager", spec))]
+    # Specs without a manager field (chaos, bench) label as their type.
+    default = type(spec).__name__.removesuffix("Spec").lower() or str(spec)
+    parts = [str(getattr(spec, "manager", default))]
     pair = getattr(spec, "pair", None)
     if pair:
         parts.append(":".join(pair))

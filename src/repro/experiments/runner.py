@@ -42,8 +42,10 @@ from repro.experiments import serialize
 from repro.experiments.harness import run_single
 
 #: Part of every cache key.  Bump when simulation semantics change in a
-#: way that invalidates previously-computed results.
-CODE_VERSION = "1"
+#: way that invalidates previously-computed results.  "2": the escrowed
+#: grant protocol (acks, refunds, retries) changed every Penelope
+#: trajectory and the result codec gained ledger samples.
+CODE_VERSION = "2"
 
 #: Where the CLI caches results unless told otherwise.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -25,6 +25,7 @@ from repro.core.config import PenelopeConfig
 from repro.experiments.harness import RunResult, RunSpec
 from repro.instrumentation import (
     CapSample,
+    LedgerSample,
     MetricsRecorder,
     TransactionEvent,
     TurnaroundSample,
@@ -92,6 +93,15 @@ def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
         "partitions": [
             [list(isolated), at, heal] for isolated, at, heal in plan.partitions
         ],
+        "restarts": [[node_id, at] for node_id, at in plan.restarts],
+        "flaps": [
+            [list(isolated), at, down, up, cycles]
+            for isolated, at, down, up, cycles in plan.flaps
+        ],
+        "loss_bursts": [
+            [probability, at, duration]
+            for probability, at, duration in plan.loss_bursts
+        ],
     }
 
 
@@ -101,6 +111,14 @@ def fault_plan_from_dict(data: Dict[str, Any]) -> FaultPlan:
         plan.kill(int(node_id), at)
     for isolated, at, heal in data["partitions"]:
         plan.partition([int(i) for i in isolated], at, heal)
+    # The churn categories postdate the original codec; absent keys mean
+    # an older plan without them.
+    for node_id, at in data.get("restarts", []):
+        plan.restart(int(node_id), at)
+    for isolated, at, down, up, cycles in data.get("flaps", []):
+        plan.flap([int(i) for i in isolated], at, down, up, int(cycles))
+    for probability, at, duration in data.get("loss_bursts", []):
+        plan.loss_burst(probability, at, duration)
     return plan
 
 
@@ -172,6 +190,7 @@ def recorder_to_dict(recorder: MetricsRecorder) -> Dict[str, Any]:
             for s in recorder.turnarounds
         ],
         "caps": [[s.time, s.node, s.cap_w] for s in recorder.caps],
+        "samples": [[s.time, s.name, s.value] for s in recorder.samples],
         "counters": dict(recorder.counters),
     }
 
@@ -197,6 +216,11 @@ def recorder_from_dict(data: Dict[str, Any]) -> MetricsRecorder:
     recorder.caps = [
         CapSample(time=time, node=node, cap_w=cap_w)
         for time, node, cap_w in data["caps"]
+    ]
+    # Ledger samples postdate the original codec; absent key means none.
+    recorder.samples = [
+        LedgerSample(time=time, name=name, value=value)
+        for time, name, value in data.get("samples", [])
     ]
     recorder.counters = {str(k): int(v) for k, v in data["counters"].items()}
     return recorder

@@ -55,6 +55,20 @@ class CapSample:
     cap_w: float
 
 
+@dataclass(frozen=True, slots=True)
+class LedgerSample:
+    """One named term of a budget-conservation snapshot.
+
+    The chaos auditor emits one sample per ledger term per probe (caps,
+    pooled, escrow, in-flight, write-offs, residual, ...), so the full
+    conservation trajectory of a run can be replayed from the recorder.
+    """
+
+    time: float
+    name: str
+    value: float
+
+
 class MetricsRecorder:
     """Append-only event log for one simulation run.
 
@@ -67,6 +81,8 @@ class MetricsRecorder:
         self.transactions: List[TransactionEvent] = []
         self.turnarounds: List[TurnaroundSample] = []
         self.caps: List[CapSample] = []
+        #: Conservation-ledger terms sampled by the chaos auditor.
+        self.samples: List[LedgerSample] = []
         self._record_caps = record_caps
         #: Free-form counters managers may bump (drops, retries, ...).
         self.counters: Dict[str, int] = {}
@@ -111,6 +127,9 @@ class MetricsRecorder:
     def cap(self, time: float, node: int, cap_w: float) -> None:
         if self._record_caps:
             self.caps.append(CapSample(time=time, node=node, cap_w=cap_w))
+
+    def sample(self, time: float, name: str, value: float) -> None:
+        self.samples.append(LedgerSample(time=time, name=name, value=value))
 
     def bump(self, counter: str, by: int = 1) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + by
@@ -160,9 +179,11 @@ def merge_recorders(recorders: Iterable[MetricsRecorder]) -> MetricsRecorder:
         merged.transactions.extend(recorder.transactions)
         merged.turnarounds.extend(recorder.turnarounds)
         merged.caps.extend(recorder.caps)
+        merged.samples.extend(recorder.samples)
         for key, value in recorder.counters.items():
             merged.counters[key] = merged.counters.get(key, 0) + value
     merged.transactions.sort(key=lambda t: t.time)
     merged.turnarounds.sort(key=lambda t: t.time)
     merged.caps.sort(key=lambda t: t.time)
+    merged.samples.sort(key=lambda t: t.time)
     return merged

@@ -212,6 +212,22 @@ class PowerManager(abc.ABC):
             self._stop_agents()
             self._started = False
 
+    def revive_node(self, node_id: int) -> None:
+        """Crash-restart a managed client node.
+
+        The base implementation revives the machine (restarting its
+        workload) at its *frozen* cap -- the cap it died with -- which is
+        budget-neutral for every manager, since audits count dead nodes'
+        frozen caps all along.  Managers that redistribute a dead node's
+        power, or host per-node daemons, must override: Penelope rebuilds
+        the node's pool/decider pair and spends its explicit write-off.
+        """
+        if self.cluster is None:
+            raise RuntimeError(f"{self.name} not installed")
+        if node_id not in self.initial_caps:
+            raise ValueError(f"node {node_id} is not a managed client")
+        self.cluster.revive_node(node_id)
+
     # -- subclass hooks -----------------------------------------------------------
 
     @abc.abstractmethod

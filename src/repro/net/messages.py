@@ -8,6 +8,9 @@ is expressed with these four message types:
   needed to return to the initial cap (Algorithm 1).
 * :class:`PowerGrant` -- the response carrying the granted amount ``delta``
   (Algorithm 2).
+* :class:`GrantAck` -- the requester's receipt for a :class:`PowerGrant`;
+  settles the donor pool's escrow entry so unacknowledged grants can be
+  refunded instead of leaking (fault-tolerant transfer).
 * :class:`ExcessReport` -- a decider depositing freed power (SLURM clients
   report excess to the server; in Penelope deposits are local and need no
   message).
@@ -112,6 +115,25 @@ class PowerGrant(Message):
 
 
 @dataclass(slots=True)
+class GrantAck(Message):
+    """Acknowledge receipt of a :class:`PowerGrant`.
+
+    ``reply_to`` is the grant's ``msg_id``; ``delta`` echoes the granted
+    watts (diagnostics -- the pool's escrow entry is keyed by id alone).
+    The donor pool holds every positive grant in escrow until this ack
+    arrives; an escrow whose deadline passes unacked is refunded into the
+    donor pool, so a grant dropped in flight never destroys budget.
+    """
+
+    reply_to: Optional[int] = None
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ValueError(f"delta must be non-negative, got {self.delta!r}")
+
+
+@dataclass(slots=True)
 class ExcessReport(Message):
     """Deposit ``delta`` watts of freed power with ``dst`` (SLURM server)."""
 
@@ -135,6 +157,7 @@ class ReleaseDirective(Message):
 __all__ = [
     "Addr",
     "ExcessReport",
+    "GrantAck",
     "Message",
     "PORT_DECIDER",
     "PORT_POOL",

@@ -81,6 +81,9 @@ class Network:
         #: Probability of any message being lost in flight (lossy fabric,
         #: a faulty-environment axis beyond node crashes and partitions).
         self.loss_probability = loss_probability
+        #: The construction-time loss rate; timed loss bursts (fault
+        #: injection) override ``loss_probability`` and restore to this.
+        self.base_loss_probability = loss_probability
         self.stats = NetworkStats()
 
     # -- membership ------------------------------------------------------
@@ -110,6 +113,20 @@ class Network:
 
     def is_dead(self, node_id: int) -> bool:
         return node_id in self._dead
+
+    def set_loss_probability(self, probability: float) -> None:
+        """Override the in-flight loss rate (timed loss-burst faults).
+
+        Messages already in flight are unaffected -- their loss draw
+        happened at send time.  Note the draw-count consequence for RNG
+        alignment: the loss draw is only consumed while the probability
+        is positive, so runs that toggle bursts consume different stream
+        positions than runs that do not (burst experiments never pair
+        trajectories across schedules, so this is acceptable).
+        """
+        if not (0.0 <= probability < 1.0):
+            raise ValueError(f"loss probability out of [0, 1): {probability!r}")
+        self.loss_probability = probability
 
     # -- sending ---------------------------------------------------------------
 

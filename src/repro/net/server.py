@@ -80,15 +80,21 @@ class RequestServer:
         """Launch the service loop."""
         if self._process is not None and self._process.is_alive:
             raise RuntimeError(f"{self.name} already running")
+        # A stopped server detached its endpoint; re-attach on restart.
+        if self.network.inbox_of(self.addr) is not self.inbox:
+            self.network.attach(self.addr, self.inbox)
         self._process = self.engine.process(self._serve(), name=self.name)
         return self._process
 
     def stop(self) -> None:
         """Kill the service loop (e.g. node failure).  Queued and future
-        messages are lost, matching a crashed daemon."""
+        messages are lost, matching a crashed daemon.  The endpoint is
+        detached so a restarted replacement server can re-attach at the
+        same address (crash-restart)."""
         if self._process is not None:
             stop_process(self._process, "server stopped")
         self.inbox.drain()
+        self.network.detach(self.addr)
 
     @property
     def is_running(self) -> bool:

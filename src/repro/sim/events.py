@@ -255,6 +255,19 @@ class Callback(EventBase):
             (engine._now + delay, priority, next(engine._sequence), self),
         )
 
+    def cancel(self) -> None:
+        """Abandon the callback before it fires (lazy deletion).
+
+        Same contract as :meth:`Timeout.cancel`: the queue entry is
+        discarded unprocessed when it surfaces, ``fn`` never runs, and
+        any waiters registered on the event are never notified.  Used by
+        the pool's escrow bookkeeping, where almost every refund deadline
+        is cancelled by the ack that beats it.
+        """
+        if self.callbacks is None:
+            raise RuntimeError(f"{self!r} has already been processed")
+        self._cancelled = True
+
     def _process(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
         assert callbacks is not None, "event processed twice"

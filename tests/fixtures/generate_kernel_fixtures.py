@@ -4,16 +4,21 @@ Usage::
 
     PYTHONPATH=src python tests/fixtures/generate_kernel_fixtures.py
 
-The fixtures pin the simulation results of the seed-revision event
-kernel: ``tests/test_sim_bench.py`` asserts that the optimized kernel
-reproduces each recorded ``RunResult`` byte-for-byte, so any change to
-event ordering, RNG stream consumption or float arithmetic in the sim
-core shows up as a fixture mismatch.
+The fixtures pin one protocol revision's simulation results:
+``tests/test_sim_bench.py`` asserts that the simulator reproduces each
+recorded ``RunResult`` byte-for-byte, so any change to event ordering,
+RNG stream consumption or float arithmetic in the sim core shows up as
+a fixture mismatch.  Deliberate protocol changes regenerate the
+fixtures (the diff documents the trajectory change); the last
+regeneration was for the escrowed-grant protocol, which adds one
+``GrantAck`` per positive Penelope grant and therefore shifts
+Penelope's latency-draw sequence.  SLURM and Fair remained
+byte-identical to the original seed revision across that change.
 
 Only *nominal* (fault-free, loss-free) scenarios are pinned.  Faulty
 results intentionally changed when ``Network.send`` started sampling
 latency before the drop checks (the RNG stream-alignment fix), so they
-cannot be compared against the seed revision.
+cannot be compared across that revision.
 
 The network-stats section is stored in the current (split dead-drop)
 codec format.  When regenerating from a revision whose codec still

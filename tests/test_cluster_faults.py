@@ -67,3 +67,109 @@ class TestFaultPlan:
         cluster.engine.run(until=5.0)
         assert not cluster.node(1).alive
         assert not cluster.topology.reachable(3, 0)
+
+
+class TestFlapPartition:
+    def test_flap_cycles_partition(self, cluster):
+        FaultPlan().flap([0], at_time_s=1.0, down_s=1.0, up_s=1.0, cycles=2).install(
+            cluster
+        )
+        cluster.engine.run(until=1.5)
+        assert not cluster.topology.reachable(0, 1)  # first down window
+        cluster.engine.run(until=2.5)
+        assert cluster.topology.reachable(0, 1)  # healed
+        cluster.engine.run(until=3.5)
+        assert not cluster.topology.reachable(0, 1)  # second down window
+        cluster.engine.run(until=5.0)
+        assert cluster.topology.reachable(0, 1)  # flapping over, stays up
+
+    def test_flap_validations(self):
+        with pytest.raises(ValueError):
+            FaultPlan().flap([0], 1.0, down_s=0.0, up_s=1.0, cycles=1)
+        with pytest.raises(ValueError):
+            FaultPlan().flap([0], 1.0, down_s=1.0, up_s=-1.0, cycles=1)
+        with pytest.raises(ValueError):
+            FaultPlan().flap([0], 1.0, down_s=1.0, up_s=1.0, cycles=0)
+        with pytest.raises(ValueError):
+            FaultPlan().flap([0], -1.0, down_s=1.0, up_s=1.0, cycles=1)
+
+
+class TestLossBurst:
+    def test_burst_raises_then_restores_base_rate(self, cluster):
+        base = cluster.network.base_loss_probability
+        FaultPlan().loss_burst(0.5, at_time_s=2.0, duration_s=3.0).install(cluster)
+        cluster.engine.run(until=2.5)
+        assert cluster.network.loss_probability == pytest.approx(0.5)
+        cluster.engine.run(until=6.0)
+        assert cluster.network.loss_probability == pytest.approx(base)
+
+    def test_burst_validations(self):
+        with pytest.raises(ValueError):
+            FaultPlan().loss_burst(1.0, 1.0, 1.0)  # p must be < 1
+        with pytest.raises(ValueError):
+            FaultPlan().loss_burst(-0.1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            FaultPlan().loss_burst(0.5, 1.0, 0.0)  # zero duration
+        with pytest.raises(ValueError):
+            FaultPlan().loss_burst(0.5, -1.0, 1.0)
+
+    def test_restart_validations(self):
+        with pytest.raises(ValueError):
+            FaultPlan().restart(0, -1.0)
+
+
+class TestSameTimestampOrdering:
+    """`install` arms in declaration order (category, then list position),
+    and the engine breaks timestamp ties by trigger sequence -- so faults
+    scheduled for the same instant fire in exactly the arming order."""
+
+    @staticmethod
+    def _traced(cluster, order):
+        real_kill = cluster.kill_node
+        real_partition = cluster.topology.partition
+
+        def kill(node_id):
+            order.append(("kill", node_id))
+            real_kill(node_id)
+
+        def partition(isolated):
+            order.append(("partition", tuple(isolated)))
+            real_partition(isolated)
+
+        cluster.kill_node = kill
+        cluster.topology.partition = partition
+
+    def test_categories_fire_kills_before_partitions(self, cluster):
+        order = []
+        self._traced(cluster, order)
+        # Declared partition *first* -- category order still wins.
+        FaultPlan().partition([3], 5.0).kill(1, 5.0).install(cluster)
+        cluster.engine.run(until=5.1)
+        assert order == [("kill", 1), ("partition", (3,))]
+
+    def test_list_order_within_a_category(self, cluster):
+        order = []
+        self._traced(cluster, order)
+        FaultPlan().kill(2, 5.0).kill(1, 5.0).install(cluster)
+        cluster.engine.run(until=5.1)
+        assert order == [("kill", 2), ("kill", 1)]
+
+    def test_replay_is_deterministic(self):
+        def trace(seed):
+            engine = Engine()
+            config = ClusterConfig(n_nodes=4, system_power_budget_w=4 * 160.0)
+            cluster = Cluster(engine, config, RngRegistry(seed=seed))
+            order = []
+            self._traced(cluster, order)
+            plan = FaultPlan().partition([3], 5.0).kill(1, 5.0).kill(2, 5.0)
+            plan.partition([0], 5.0)
+            plan.install(cluster)
+            engine.run(until=6.0)
+            return order
+
+        assert trace(0) == trace(1) == [
+            ("kill", 1),
+            ("kill", 2),
+            ("partition", (3,)),
+            ("partition", (0,)),
+        ]

@@ -169,7 +169,12 @@ class TestSilentPeer:
         timeouts = rig.decider.recorder.counters.get(
             "decider.request_timeouts", 0
         )
+        # With the default timeout == period, the period-bounded retry
+        # budget admits no retries: one request per iteration, as before.
         assert timeouts >= 3
+        assert rig.decider.recorder.counters.get(
+            "decider.request_retries", 0
+        ) == 0
 
 
 class TestGrantFlood:

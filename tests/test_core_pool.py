@@ -6,7 +6,14 @@ import pytest
 
 from repro.core.config import PenelopeConfig
 from repro.core.pool import PowerPool, clamp_transaction
-from repro.net.messages import PORT_DECIDER, PORT_POOL, Addr, PowerGrant, PowerRequest
+from repro.net.messages import (
+    PORT_DECIDER,
+    PORT_POOL,
+    Addr,
+    GrantAck,
+    PowerGrant,
+    PowerRequest,
+)
 from repro.net.network import Network
 from repro.net.topology import LatencyModel, Topology
 from repro.sim.resources import Store
@@ -28,8 +35,13 @@ def pool(engine, net, rngs):
     return pool
 
 
-def send_request(engine, net, pool, urgent=False, alpha=0.0, src=0):
-    """Send a request to the pool and return the grant received."""
+def send_request(engine, net, pool, urgent=False, alpha=0.0, src=0, ack=True):
+    """Send a request to the pool and return the grant received.
+
+    The engine runs for a bounded window (well inside the escrow refund
+    deadline) and, like a real decider, the grant is acked by default so
+    the escrow settles; pass ``ack=False`` to leave the escrow open.
+    """
     inbox = net.inbox_of(Addr(src, PORT_DECIDER))
     if inbox is None:
         inbox = Store(engine)
@@ -41,10 +53,20 @@ def send_request(engine, net, pool, urgent=False, alpha=0.0, src=0):
         alpha=alpha,
     )
     net.send(request)
-    engine.run()
+    engine.run(until=engine.now + 0.5)
     grant = inbox.get_nowait()
     assert isinstance(grant, PowerGrant)
     assert grant.reply_to == request.msg_id
+    if ack and grant.delta > 0:
+        net.send(
+            GrantAck(
+                src=Addr(src, PORT_DECIDER),
+                dst=pool.addr,
+                reply_to=grant.msg_id,
+                delta=grant.delta,
+            )
+        )
+        engine.run(until=engine.now + 0.5)
     return grant
 
 

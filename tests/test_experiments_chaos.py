@@ -1,0 +1,218 @@
+"""Chaos sweep tests: schedule derivation, the continuous auditor, and
+the cache/CLI plumbing.
+
+The smoke runs here are deliberately tiny (4 clients, ~10 simulated
+seconds) -- the full-intensity storm lives behind ``repro chaos`` and
+the CI chaos-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.manager import ConservationLedger
+from repro.experiments.chaos import (
+    BudgetAuditor,
+    ChaosSpec,
+    build_chaos_plan,
+    chaos_result_from_dict,
+    chaos_result_to_dict,
+    chaos_spec_from_dict,
+    chaos_spec_to_dict,
+    chaos_specs,
+    format_chaos,
+    run_chaos_single,
+    run_chaos_sweep,
+)
+
+SMOKE = ChaosSpec(
+    n_clients=4,
+    seed=3,
+    duration_s=10.0,
+    workload_scale=0.1,
+    kills=1,
+    flaps=1,
+    bursts=1,
+    burst_loss=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_chaos_single(SMOKE)
+
+
+class TestChaosSpec:
+    def test_budget_is_per_socket_cap_over_all_sockets(self):
+        spec = ChaosSpec(n_clients=10, cap_w_per_socket=70.0)
+        assert spec.budget_w == pytest.approx(1400.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clients": 3},
+            {"duration_s": 0.0},
+            {"kills": -1},
+            {"n_clients": 4, "kills": 4},
+            {"burst_loss": 1.0},
+            {"audit_interval_s": 0.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosSpec(**kwargs)
+
+    def test_chaos_specs_vary_only_the_seed(self):
+        specs = chaos_specs([0, 1, 2], n_clients=6, kills=1)
+        assert [s.seed for s in specs] == [0, 1, 2]
+        assert all(s.n_clients == 6 and s.kills == 1 for s in specs)
+
+
+class TestBuildChaosPlan:
+    def test_same_seed_same_schedule(self):
+        spec = ChaosSpec(seed=42)
+        assert build_chaos_plan(spec) == build_chaos_plan(spec)
+
+    def test_different_seeds_differ(self):
+        a = build_chaos_plan(ChaosSpec(seed=0))
+        b = build_chaos_plan(ChaosSpec(seed=1))
+        assert a != b
+
+    def test_schedule_respects_the_spec_counts(self):
+        spec = ChaosSpec(kills=3, flaps=2, bursts=4, n_clients=8)
+        plan = build_chaos_plan(spec)
+        assert len(plan.node_kills) == 3
+        assert len(plan.restarts) == 3  # every kill gets a paired restart
+        assert len(plan.flaps) == 2
+        assert len(plan.loss_bursts) == 4
+
+    def test_kill_victims_are_distinct_and_restart_after_dying(self):
+        spec = ChaosSpec(kills=4, n_clients=8, duration_s=50.0)
+        plan = build_chaos_plan(spec)
+        victims = [node for node, _ in plan.node_kills]
+        assert len(set(victims)) == len(victims)
+        restart_at = dict(plan.restarts)
+        for node, killed_at in plan.node_kills:
+            assert 0.15 * 50.0 <= killed_at <= 0.5 * 50.0
+            assert killed_at < restart_at[node] <= 0.95 * 50.0
+
+    def test_schedule_rng_does_not_touch_run_streams(self):
+        # Drawing the schedule twice must not perturb a later run: the
+        # schedule uses its own registry instance.
+        build_chaos_plan(SMOKE)
+        a = run_chaos_single(SMOKE)
+        build_chaos_plan(SMOKE)
+        build_chaos_plan(SMOKE)
+        b = run_chaos_single(SMOKE)
+        assert a.final == b.final
+        assert a.recorder.counters == b.recorder.counters
+
+
+class TestBudgetAuditor:
+    def test_interval_validated(self, smoke_result):
+        with pytest.raises(ValueError):
+            BudgetAuditor(engine=None, manager=None, interval_s=0.0)
+
+    def test_smoke_run_holds_conservation(self, smoke_result):
+        # interval-grid probes plus the final horizon probe
+        assert smoke_result.n_audits == 11
+        assert (
+            smoke_result.max_abs_residual_w <= ConservationLedger.TOLERANCE_W
+        )
+        smoke_result.final.check()
+        counters = smoke_result.recorder.counters
+        assert counters["auditor.probes"] == smoke_result.n_audits
+
+    def test_probes_record_ledger_samples(self, smoke_result):
+        names = {s.name for s in smoke_result.recorder.samples}
+        assert "residual_w" in names
+        assert "escrow_w" in names
+        assert "write_offs_w" in names
+        residuals = [
+            s for s in smoke_result.recorder.samples if s.name == "residual_w"
+        ]
+        assert len(residuals) == smoke_result.n_audits
+
+    def test_storm_actually_happened(self, smoke_result):
+        counters = smoke_result.recorder.counters
+        assert counters["manager.revives"] == 1  # the kill's paired restart
+        assert smoke_result.network.dropped > 0
+        assert len(smoke_result.schedule["node_kills"]) == 1
+
+
+class TestChaosCodecs:
+    def test_spec_round_trips_through_json(self):
+        decoded = chaos_spec_from_dict(
+            json.loads(json.dumps(chaos_spec_to_dict(SMOKE)))
+        )
+        assert decoded == SMOKE
+
+    def test_result_round_trips_through_json(self, smoke_result):
+        decoded = chaos_result_from_dict(
+            json.loads(json.dumps(chaos_result_to_dict(smoke_result)))
+        )
+        assert decoded.spec == smoke_result.spec
+        assert decoded.schedule == smoke_result.schedule
+        assert decoded.n_audits == smoke_result.n_audits
+        assert decoded.max_abs_residual_w == smoke_result.max_abs_residual_w
+        assert decoded.final == smoke_result.final
+        assert decoded.recorder.counters == smoke_result.recorder.counters
+        assert decoded.recorder.samples == smoke_result.recorder.samples
+        assert decoded.network == smoke_result.network
+
+
+class TestChaosSweep:
+    def test_sweep_caches_and_replays(self, tmp_path):
+        specs = chaos_specs([3], **{
+            k: getattr(SMOKE, k)
+            for k in (
+                "n_clients", "duration_s", "workload_scale",
+                "kills", "flaps", "bursts", "burst_loss",
+            )
+        })
+        first = run_chaos_sweep(specs, cache_dir=str(tmp_path))
+        assert len(list(tmp_path.rglob("*.json"))) == 1
+        second = run_chaos_sweep(specs, cache_dir=str(tmp_path))
+        assert format_chaos(first) == format_chaos(second)
+        assert second[0].final == first[0].final
+
+    def test_format_reports_the_verdict(self, smoke_result):
+        text = format_chaos([smoke_result])
+        assert "conservation probes held" in text
+        assert "worst residual" in text
+        assert f"{smoke_result.spec.seed:>6}" in text.splitlines()[2 + 1]
+
+
+class TestChaosCli:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert args.seeds == [0, 1, 2]
+        assert args.clients == 12
+        assert args.kills == 2
+
+    def test_cli_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "chaos",
+                "--seeds", "3",
+                "--clients", "4",
+                "--duration", "10",
+                "--scale", "0.1",
+                "--kills", "1",
+                "--flaps", "1",
+                "--bursts", "1",
+                "--burst-loss", "0.05",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "conservation probes held" in out

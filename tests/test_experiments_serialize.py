@@ -76,6 +76,36 @@ class TestFaultPlanCodec:
         assert decoded.node_kills == []
         assert decoded.partitions == []
 
+    def test_chaos_fields_round_trip(self):
+        plan = (
+            FaultPlan()
+            .kill(2, 4.0)
+            .restart(2, 9.0)
+            .flap([1, 3], at_time_s=6.0, down_s=0.5, up_s=1.5, cycles=3)
+            .loss_burst(0.25, at_time_s=10.0, duration_s=2.0)
+        )
+        decoded = serialize.fault_plan_from_dict(
+            json_round_trip(serialize.fault_plan_to_dict(plan))
+        )
+        assert decoded == plan
+        assert decoded.restarts == [(2, 9.0)]
+        assert decoded.flaps == [((1, 3), 6.0, 0.5, 1.5, 3)]
+        assert decoded.loss_bursts == [(0.25, 10.0, 2.0)]
+
+    def test_legacy_plan_dict_without_chaos_fields_decodes(self):
+        # Cached results written before restarts/flaps/bursts existed
+        # carry only kills and partitions; the decoder defaults the rest.
+        legacy = {
+            "node_kills": [[1, 5.0]],
+            "partitions": [[[0, 2], 3.0, 4.0]],
+        }
+        decoded = serialize.fault_plan_from_dict(legacy)
+        assert decoded.node_kills == [(1, 5.0)]
+        assert decoded.partitions == [((0, 2), 3.0, 4.0)]
+        assert decoded.restarts == []
+        assert decoded.flaps == []
+        assert decoded.loss_bursts == []
+
 
 # -- full results ------------------------------------------------------------
 
@@ -142,6 +172,35 @@ class TestResultCodec:
         assert decoded.recorder.caps == result.recorder.caps
         assert decoded.recorder.counters == result.recorder.counters
         assert decoded.recorder._record_caps == result.recorder._record_caps
+
+    def test_recorder_samples_round_trip(self, result):
+        recorder = result.recorder
+        from repro.instrumentation import LedgerSample
+
+        with_samples = serialize.recorder_from_dict(
+            json_round_trip(serialize.recorder_to_dict(recorder))
+        )
+        assert with_samples.samples == recorder.samples
+        # And a recorder that actually holds samples (the auditor's view).
+        recorder2 = serialize.recorder_from_dict(
+            json_round_trip(serialize.recorder_to_dict(recorder))
+        )
+        recorder2.sample(1.0, "ledger.residual_w", 0.0)
+        recorder2.sample(2.0, "ledger.escrow_w", 12.5)
+        decoded = serialize.recorder_from_dict(
+            json_round_trip(serialize.recorder_to_dict(recorder2))
+        )
+        assert decoded.samples == [
+            LedgerSample(time=1.0, name="ledger.residual_w", value=0.0),
+            LedgerSample(time=2.0, name="ledger.escrow_w", value=12.5),
+        ]
+
+    def test_legacy_recorder_dict_without_samples_decodes(self, result):
+        data = json_round_trip(serialize.recorder_to_dict(result.recorder))
+        del data["samples"]  # pre-auditor cache entries lack the key
+        decoded = serialize.recorder_from_dict(data)
+        assert decoded.samples == []
+        assert decoded.counters == result.recorder.counters
 
     def test_budget_audit(self, result):
         decoded = serialize.audit_from_dict(

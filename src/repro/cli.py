@@ -11,6 +11,7 @@ Examples::
     python -m repro bench                             # kernel perf sweep
     python -m repro bench --quick                     # CI perf smoke
     python -m repro chaos --seeds 0 1 2 --jobs 3      # audited fault storms
+    python -m repro lint src --format json            # static invariant scan
 
 Full paper-sized sweeps take minutes; every command accepts reduced
 parameters for a quick look.  Sweep commands take ``--jobs N`` to fan
@@ -247,12 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the results JSON",
     )
 
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    started = time.time()
+    started = time.perf_counter()
 
     runner_kwargs: dict = {}
     if args.command in SWEEP_COMMANDS:
@@ -267,10 +272,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if args.command in SWEEP_COMMANDS:
             remove_progress_listener(print_progress)
-        print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
+        print(f"[done in {time.perf_counter() - started:.1f}s]", file=sys.stderr)
 
 
 def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
+    if args.command == "lint":
+        from repro.lint.cli import run_lint_command
+
+        return run_lint_command(args)
     if args.command == "overhead":
         result = run_overhead_experiment(
             cap_w_per_socket=args.cap, seed=args.seed, workload_scale=args.scale

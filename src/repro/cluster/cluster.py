@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.network import Network
 from repro.net.topology import LatencyModel, Topology
@@ -28,7 +28,7 @@ class ClusterConfig:
     spec: PowerDomainSpec = SKYLAKE_6126_NODE
     system_power_budget_w: float = 20 * 2 * 80.0  # 80 W/socket default sweep midpoint
     latency: LatencyModel = field(default_factory=LatencyModel)
-    enforcement_delay_s: tuple = (0.2, 0.5)
+    enforcement_delay_s: Tuple[float, float] = (0.2, 0.5)
     reading_noise: float = 0.01
     #: Per-endpoint inbox bound; overflow drops packets.
     inbox_capacity: int = 128

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -110,7 +110,7 @@ class WorkloadExecutor:
 
     # -- main loop ----------------------------------------------------------------
 
-    def _phase_speed_and_draw(self, phase: Phase) -> tuple:
+    def _phase_speed_and_draw(self, phase: Phase) -> Tuple[float, float]:
         """(speed, draw) for ``phase`` under the currently enforced cap.
 
         Balanced phases use the node-level model; phases declaring NUMA
@@ -175,7 +175,7 @@ class SimNode:
         spec: PowerDomainSpec,
         rng: np.random.Generator,
         initial_cap_w: Optional[float] = None,
-        enforcement_delay_s: tuple = (0.2, 0.5),
+        enforcement_delay_s: Tuple[float, float] = (0.2, 0.5),
         reading_noise: float = 0.01,
     ) -> None:
         self.engine = engine

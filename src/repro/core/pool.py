@@ -22,7 +22,7 @@ that future deposits pay down first.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -61,6 +61,8 @@ def clamp_transaction(pool_w: float, rate: float, lower_w: float, upper_w: float
 #: after eviction is counted as unknown (diagnostics only -- the power
 #: accounting is already closed for those ids).
 _ESCROW_HISTORY = 512
+
+_V = TypeVar("_V")
 
 
 class PowerPool:
@@ -309,7 +311,7 @@ class PowerPool:
             self.recorder.bump("pool.unknown_acks")
 
     @staticmethod
-    def _remember(history: "OrderedDict", key: int, value) -> None:
+    def _remember(history: "OrderedDict[int, _V]", key: int, value: _V) -> None:
         history[key] = value
         while len(history) > _ESCROW_HISTORY:
             history.popitem(last=False)

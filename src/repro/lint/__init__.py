@@ -1,0 +1,49 @@
+"""Static determinism & conservation analyzer (``repro lint``).
+
+The simulator's two load-bearing guarantees -- bit-identical seeded
+replay and watt conservation under faults -- are enforced dynamically by
+fixtures and chaos probes.  This package enforces them *statically*: an
+AST-based analyzer with project-specific rules (R1-R6) that catch the
+bug classes which break those guarantees before any fixture notices.
+
+Programmatic API::
+
+    from pathlib import Path
+    from repro.lint import lint_paths
+
+    report = lint_paths([Path("src")])
+    for finding in report.findings:
+        print(finding.format())
+
+CLI::
+
+    python -m repro lint src                 # exit 1 on any finding
+    python -m repro lint src --format json   # machine-readable report
+    python -m repro lint --list-rules
+
+See ``docs/LINTING.md`` for each rule's invariant and the allowlist
+mechanisms (inline ``# lint: allow[Rn]`` comments and
+``[tool.repro-lint]`` in ``pyproject.toml``).
+"""
+
+from repro.lint.config import DEFAULT_ALLOW, LintConfig, discover_pyproject, load_config
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.registry import Rule, all_rules, get_rules, register
+from repro.lint.runner import LintReport, iter_python_files, lint_file, lint_paths
+
+__all__ = [
+    "DEFAULT_ALLOW",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "all_rules",
+    "discover_pyproject",
+    "get_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "register",
+]

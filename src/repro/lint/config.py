@@ -1,0 +1,89 @@
+"""Analyzer configuration: disabled rules and per-rule path allowlists.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.repro-lint]``::
+
+    [tool.repro-lint]
+    disable = []                    # rule ids to turn off entirely
+
+    [tool.repro-lint.allow]
+    R5 = ["repro/managers/slurm.py"]   # paths exempt from one rule
+
+An ``allow`` entry matches a scanned file when the file's POSIX path
+*ends with* the entry, so ``repro/managers/slurm.py`` matches the file
+whether the scan root is ``src``, ``src/repro`` or an absolute path.
+
+Alongside path allowlists, single findings can be suppressed inline
+with a ``# lint: allow[R3] why`` comment on the offending line (or on a
+comment line immediately above it); see :mod:`repro.lint.context`.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+#: Allowlists applied when no ``pyproject.toml`` is found.  Mirrors the
+#: checked-in ``[tool.repro-lint]`` section so API callers and the CLI
+#: agree even when scanning outside the repository.
+DEFAULT_ALLOW: Mapping[str, Tuple[str, ...]] = {
+    # The named-stream registry is the one place allowed to construct
+    # numpy generators (it *is* the discipline R2 enforces).
+    "R2": ("repro/sim/rng.py",),
+    # The SLURM server keeps its own granted-out ledger; its mutations
+    # are audited by the manager's conservation checks, not the pool's.
+    "R5": ("repro/managers/slurm.py",),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective analyzer configuration."""
+
+    disabled: FrozenSet[str] = frozenset()
+    allow: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOW)
+    )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return rule_id not in self.disabled
+
+    def path_allowed(self, rule_id: str, path: str) -> bool:
+        """True when ``path`` is exempt from ``rule_id`` by allowlist."""
+        posix = path.replace("\\", "/")
+        return any(posix.endswith(entry) for entry in self.allow.get(rule_id, ()))
+
+
+def _coerce_str_list(value: object, where: str) -> Tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ValueError(f"{where} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+def load_config(pyproject: Optional[Path]) -> LintConfig:
+    """Build the config from ``pyproject`` (defaults if ``None``/missing)."""
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("repro-lint", {})
+    if not section:
+        return LintConfig()
+    disabled = frozenset(_coerce_str_list(section.get("disable", []), "disable"))
+    allow: Dict[str, Tuple[str, ...]] = dict(DEFAULT_ALLOW)
+    for rule_id, entries in section.get("allow", {}).items():
+        allow[rule_id] = _coerce_str_list(entries, f"allow.{rule_id}")
+    return LintConfig(disabled=disabled, allow=allow)
+
+
+def discover_pyproject(start: Path) -> Optional[Path]:
+    """The nearest ``pyproject.toml`` at or above ``start``."""
+    node = start.resolve()
+    candidates: Sequence[Path] = [node, *node.parents]
+    for directory in candidates:
+        if directory.is_dir():
+            candidate = directory / "pyproject.toml"
+            if candidate.is_file():
+                return candidate
+    return None

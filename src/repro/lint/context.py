@@ -1,0 +1,240 @@
+"""Per-file analysis context shared by all rules.
+
+A :class:`FileContext` parses one source file and pre-computes the
+facts every rule needs:
+
+* the import alias table, so rules can resolve ``np.random.default_rng``
+  to ``numpy.random.default_rng`` regardless of local spelling;
+* the set of names statically known to hold ``set``/``frozenset``
+  values (for the ordered-iteration rule);
+* inline ``# lint: allow[R3]`` suppressions;
+* the file's module path inside the ``repro`` package (for rule
+  scoping), when it has one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]+)\]")
+
+#: Annotation heads that mark a value as an unordered set.
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+def _annotation_head(node: ast.expr) -> Optional[str]:
+    """The outermost name of an annotation (``Set[int]`` -> ``Set``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):  # typing.Set[...], t.Set[...]
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotations: "Set[int]" -> parse the head lexically.
+        text = node.value.strip()
+        match = re.match(r"[A-Za-z_][A-Za-z0-9_.]*", text)
+        if match:
+            return match.group(0).rsplit(".", maxsplit=1)[-1]
+    return None
+
+
+def _target_key(node: ast.expr) -> Optional[str]:
+    """Inference key for an assignment target.
+
+    Plain names map to ``"name"``; instance attributes on ``self`` map to
+    ``"self.name"``.  Anything else (subscripts, chained attributes) is
+    not tracked.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+class FileContext:
+    """Everything the rules need to know about one parsed source file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.display_path = path.as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.module_path = self._module_path(path)
+        self.imports = self._collect_imports(tree)
+        self.set_typed = self._collect_set_typed(tree)
+        self.suppressions = self._collect_suppressions(self.lines)
+
+    @classmethod
+    def from_path(cls, path: Path) -> "FileContext":
+        """Parse ``path``; raises ``SyntaxError`` on unparseable source."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(path, source, tree)
+
+    # -- scoping -----------------------------------------------------------
+
+    @staticmethod
+    def _module_path(path: Path) -> Optional[str]:
+        """The ``repro/...`` suffix of ``path``, if it lives in the package.
+
+        Files outside the package (e.g. test fixtures) return ``None`` and
+        are treated as in scope for *every* rule, so fixture snippets can
+        exercise rules whose production scope is a package subtree.
+        """
+        parts = path.as_posix().split("/")
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[index:])
+        return None
+
+    def in_scope(self, scope: Tuple[str, ...]) -> bool:
+        """Whether this file falls under a rule's scope prefixes."""
+        if not scope or self.module_path is None:
+            return True
+        return any(self.module_path.startswith(prefix) for prefix in scope)
+
+    # -- imports -----------------------------------------------------------
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+        imports: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        imports[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return imports
+
+    def qualified_name(self, node: ast.expr) -> Optional[str]:
+        """Resolve a dotted expression through the import alias table.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when the
+        module was imported ``as np``; names that are not rooted in an
+        import resolve to ``None`` (locals are invisible to the linter).
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.qualified_name(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+    # -- set-typed inference ------------------------------------------------
+
+    @classmethod
+    def _collect_set_typed(cls, tree: ast.Module) -> Set[str]:
+        """Names/attributes statically known to hold unordered sets.
+
+        Flow-insensitive: one ``x = set()`` anywhere marks ``x`` for the
+        whole module.  That is the right bias for a determinism linter --
+        a name that is *ever* a set must not be iterated unordered.
+        """
+        known: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                head = _annotation_head(node.annotation)
+                key = _target_key(node.target)
+                if key is not None and head in _SET_ANNOTATIONS:
+                    known.add(key)
+            elif isinstance(node, ast.Assign):
+                if not cls._is_set_literal(node.value):
+                    continue
+                for target in node.targets:
+                    key = _target_key(target)
+                    if key is not None:
+                        known.add(key)
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                head = _annotation_head(node.annotation)
+                if head in _SET_ANNOTATIONS:
+                    known.add(node.arg)
+        return known
+
+    @staticmethod
+    def _is_set_literal(node: ast.expr) -> bool:
+        """Syntactically evident set construction."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"set", "frozenset"}
+        return False
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        """Whether ``node`` is statically known to evaluate to a set."""
+        if self._is_set_literal(node):
+            return True
+        key = _target_key(node)
+        if key is not None and key in self.set_typed:
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+    # -- inline suppressions -----------------------------------------------
+
+    @staticmethod
+    def _collect_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
+        """Map 1-based line numbers to the rule ids suppressed there.
+
+        A ``# lint: allow[R1]`` trailing comment suppresses its own line;
+        a comment-only line suppresses the line below it as well, so the
+        justification can sit above long statements.
+        """
+        suppressed: Dict[int, Set[str]] = {}
+        for index, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rule_ids = {part.strip() for part in match.group(1).split(",")}
+            rule_ids.discard("")
+            suppressed.setdefault(index, set()).update(rule_ids)
+            if line.lstrip().startswith("#"):
+                suppressed.setdefault(index + 1, set()).update(rule_ids)
+        return suppressed
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        at_line = self.suppressions.get(line, ())
+        return rule_id in at_line or "*" in at_line
+
+    # -- finding construction ------------------------------------------------
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(self.lines):
+            snippet = self.lines[line - 1].strip()
+        return Finding(
+            rule_id=rule_id,
+            path=self.display_path,
+            line=line,
+            col=col + 1,
+            message=message,
+            snippet=snippet,
+        )

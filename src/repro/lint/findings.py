@@ -1,0 +1,47 @@
+"""Finding: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+#: Pseudo-rule id attached to files the analyzer could not parse.
+PARSE_ERROR_RULE = "PARSE"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """A single analyzer diagnostic, pointing at ``path:line:col``.
+
+    ``rule_id`` is the stable identifier (``R1`` .. ``R6``, or
+    :data:`PARSE_ERROR_RULE` for unreadable files) that tests, inline
+    suppressions and config allowlists key on.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """The human-readable one-line rendering."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """The JSON-report rendering (``--format json``)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }

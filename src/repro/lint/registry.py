@@ -1,0 +1,77 @@
+"""Rule base class and the global rule registry.
+
+Rules self-register at import time via :func:`register`; importing
+:mod:`repro.lint.rules` pulls in every built-in rule module.  Each rule
+declares:
+
+``rule_id``
+    Stable identifier (``R1``...) used in findings, inline suppressions
+    and config allowlists.
+``scope``
+    Module-path prefixes (``repro/sim``, ...) the rule applies to inside
+    the package.  Empty means the whole tree.  Files *outside* a
+    ``repro`` package (e.g. test fixtures) are always in scope, so
+    fixture snippets can exercise scoped rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """One static invariant check over a parsed file."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    #: The dynamic guarantee this rule protects (shown by ``--list-rules``).
+    invariant: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_scope(self.scope)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(rule_ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The selected rules (all when ``rule_ids`` is ``None``)."""
+    rules = all_rules()
+    if rule_ids is None:
+        return rules
+    wanted: Sequence[str] = list(rule_ids)
+    unknown = sorted(set(wanted) - {rule.rule_id for rule in rules})
+    if unknown:
+        known = ", ".join(rule.rule_id for rule in rules)
+        raise KeyError(f"unknown rule ids {unknown!r} (known: {known})")
+    return [rule for rule in rules if rule.rule_id in set(wanted)]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily to avoid a registry/rules import cycle.
+    import repro.lint.rules  # noqa: F401  (import side effect: registration)

@@ -1,0 +1,78 @@
+"""R2: RNG stream discipline -- no ad-hoc numpy generator construction.
+
+Every stochastic component draws from a named stream handed out by
+:class:`repro.sim.rng.RngRegistry` (whose state depends only on
+``(root_seed, stream_name)``), or from a ``np.random.Generator`` passed
+in as a parameter.  Constructing a generator ad hoc -- or worse, calling
+the legacy module-level draw functions -- creates a stream whose state
+depends on call order or process entropy, so adding one component
+perturbs every other component's draws.
+
+``sim/rng.py`` itself is the single allowed constructor; it is exempted
+via the checked-in ``[tool.repro-lint.allow]`` R2 entry rather than in
+code, so the exemption is visible and auditable in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Generator/bit-generator constructors and the legacy global-state seed.
+_BANNED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.seed",
+    }
+)
+
+_NUMPY_RANDOM_PREFIX = "numpy.random."
+
+
+@register
+class RngStreamRule(Rule):
+    rule_id = "R2"
+    name = "rng-stream-discipline"
+    summary = "numpy generators come from sim/rng.py streams or parameters, never ad hoc"
+    invariant = (
+        "stream independence: a component's draws depend only on "
+        "(root_seed, stream_name), never on construction order"
+    )
+    scope = ()  # whole tree; the registry module is allowlisted in config
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified_name(node.func)
+            if qualified is None or not qualified.startswith(_NUMPY_RANDOM_PREFIX):
+                continue
+            if qualified in _BANNED_CONSTRUCTORS:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"ad-hoc generator construction {qualified}(); take a "
+                    "np.random.Generator parameter or use "
+                    "RngRegistry.stream(name) from repro.sim.rng",
+                )
+            else:
+                # numpy.random.random() and friends draw from hidden
+                # module-global state -- the legacy API has no stream story.
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"legacy module-level draw {qualified}(); draw from a "
+                    "named np.random.Generator stream instead",
+                )

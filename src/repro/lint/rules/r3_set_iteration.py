@@ -1,0 +1,80 @@
+"""R3: no unordered ``set`` iteration at simulation decision points.
+
+Set iteration order in CPython depends on element hashes and insertion
+history -- for ``int`` node ids it is *usually* sorted, which is exactly
+the trap: code that iterates a set of peers to schedule events or feed
+RNG-driven choices replays identically for months, then one refactor
+grows the set past a resize threshold and the event order silently
+changes.  Every iteration over a statically-known set must go through
+``sorted(...)`` (or another explicit ordering).
+
+``dict`` iteration is insertion-ordered by the language spec (3.7+) and
+is left alone: the codebase builds its registries in deterministic node
+order.  Membership tests (``x in s``), ``len``, and set algebra are fine
+-- only *iteration* leaks the unordered internals.
+
+The rule is scoped to the simulation's decision-making layers; analysis
+and reporting code may iterate sets freely (their outputs are sorted at
+the edges, and they feed no RNG draws or event scheduling).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Reduction calls whose result depends on iteration order (float
+#: addition is not associative).  ``min``/``max``/``len``/``any``/``all``
+#: are order-insensitive and allowed.
+_ORDER_SENSITIVE_REDUCTIONS = frozenset({"sum", "list", "tuple"})
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "R3"
+    name = "ordered-iteration"
+    summary = "iteration over set/frozenset must be wrapped in sorted()"
+    invariant = (
+        "deterministic event order: same seed, same decision sequence, "
+        "independent of hash-table internals"
+    )
+    scope = (
+        "repro/sim",
+        "repro/core",
+        "repro/net",
+        "repro/cluster",
+        "repro/managers",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if ctx.is_set_expr(node.iter):
+                    yield self._finding(ctx, node.iter, "for-loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if ctx.is_set_expr(generator.iter):
+                        yield self._finding(ctx, generator.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_REDUCTIONS
+                    and node.args
+                    and ctx.is_set_expr(node.args[0])
+                ):
+                    yield self._finding(ctx, node.args[0], f"{func.id}()")
+
+    def _finding(self, ctx: FileContext, node: ast.expr, where: str) -> Finding:
+        return ctx.finding(
+            self.rule_id,
+            node,
+            f"unordered set iteration in {where}; wrap the set in sorted() "
+            "so decision order never depends on hash-table internals",
+        )

@@ -1,0 +1,75 @@
+"""R5: pool/ledger balance fields mutate only inside core/pool.py.
+
+Watt conservation (``budget == caps_live + pooled + in_flight(signed) +
+write_offs``, see ``docs/ARCHITECTURE.md``) holds because every balance
+movement goes through :class:`repro.core.pool.PowerPool`'s audited
+mutators, which keep the paired ledger terms (``granted_out_w``,
+``escrow_w``, ``reclaim_debt_w``) in sync with the balance.  A raw
+``pool.balance += x`` from a manager or experiment mutates one term
+without its counterpart and destroys or duplicates watts in a way the
+:class:`ConservationLedger` only catches at the next audit probe --
+if a probe runs at all.
+
+The SLURM server keeps an analogous ``granted_out_w`` ledger of its
+own; that file is exempted via the checked-in ``[tool.repro-lint.allow]``
+R5 entry, keeping the exception auditable in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Conservation-ledger fields (public names and their private backers).
+_LEDGER_FIELDS = frozenset(
+    {
+        "balance_w",
+        "_balance_w",
+        "escrow_w",
+        "_escrow_w",
+        "granted_out_w",
+        "reclaim_debt_w",
+    }
+)
+
+#: The audited home of these fields.
+_AUDITED_MODULE = "core/pool.py"
+
+
+@register
+class LedgerMutationRule(Rule):
+    rule_id = "R5"
+    name = "audited-ledger-mutation"
+    summary = "pool balance/ledger fields mutate only via core/pool.py's audited methods"
+    invariant = (
+        "watt conservation: every balance movement updates its paired "
+        "ledger term in the same audited method"
+    )
+    scope = ()  # whole tree: a stray mutation anywhere is a conservation hazard
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module_path and ctx.module_path.endswith(_AUDITED_MODULE):
+            return False  # the audited mutators themselves
+        return super().applies_to(ctx)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _LEDGER_FIELDS
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"direct mutation of ledger field '.{target.attr}' "
+                        "outside core/pool.py; use the pool's audited "
+                        "deposit/withdraw/escrow methods (conservation hazard)",
+                    )

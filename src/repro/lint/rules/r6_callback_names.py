@@ -1,0 +1,67 @@
+"""R6: every engine callback registration names a deterministic tiebreak key.
+
+Same-instant events process in sequence order, so *which* callback ran
+first is invisible in any timestamp -- the ``name`` on the queue entry
+is the only handle for diagnosing and pinning same-instant orderings
+(PR 3 documented the kill/flap/burst same-instant contract in exactly
+these terms).  An anonymous ``Callback`` that lands in a same-instant
+cluster turns "why did the refund beat the ack in this run?" into a
+debugger session instead of a log line.
+
+Hot paths that cannot afford per-event string formatting pass a cheap
+constant key (e.g. ``name="net.deliver"``): the rule requires the
+keyword to be *present*, not expensive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Qualified-name suffixes of the Callback constructor.
+_CALLBACK_SUFFIXES = ("events.Callback",)
+
+
+def _has_name_keyword(node: ast.Call) -> bool:
+    return any(keyword.arg == "name" for keyword in node.keywords)
+
+
+@register
+class CallbackNameRule(Rule):
+    rule_id = "R6"
+    name = "named-callbacks"
+    summary = "Callback()/call_later() registrations must pass a name= tiebreak key"
+    invariant = (
+        "diagnosable same-instant ordering: every queue entry in a "
+        "same-time cluster is identifiable by name"
+    )
+    scope = ()  # whole tree: anonymous queue entries hurt wherever they occur
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_registration(ctx, node):
+                continue
+            if not _has_name_keyword(node):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "callback registration without name=; pass a deterministic "
+                    "tiebreak key (a cheap constant is fine on hot paths)",
+                )
+
+    @staticmethod
+    def _is_registration(ctx: FileContext, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "call_later":
+            return True
+        qualified = ctx.qualified_name(func)
+        if qualified is not None:
+            return qualified.endswith(_CALLBACK_SUFFIXES)
+        # Unresolvable bare name: fall back to the conventional class name.
+        return isinstance(func, ast.Name) and func.id == "Callback"

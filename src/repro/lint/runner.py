@@ -1,0 +1,113 @@
+"""File discovery and rule execution.
+
+:func:`lint_paths` is the programmatic entry point used by both the CLI
+subcommand and the test suite::
+
+    report = lint_paths([Path("src")])
+    assert not report.findings
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.context import FileContext
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.registry import Rule, get_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".repro-cache", ".venv", "node_modules"})
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Sequence[str] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths``, deterministically ordered."""
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        elif path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts))
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                yield candidate
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run ``rules`` over one file, honoring suppressions and allowlists."""
+    config = config or LintConfig()
+    try:
+        ctx = FileContext.from_path(path)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_RULE,
+                path=path.as_posix(),
+                line=line,
+                col=1,
+                message=f"could not parse file: {exc}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules:
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        if not rule.applies_to(ctx):
+            continue
+        if config.path_allowed(rule.rule_id, ctx.display_path):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    # ast.walk is breadth-first; report in source order regardless.
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rule_ids: Optional[Iterable[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Run the analyzer over all python files under ``paths``."""
+    rules = get_rules(rule_ids)
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    files_scanned = 0
+    for path in iter_python_files(paths):
+        files_scanned += 1
+        findings.extend(lint_file(path, rules, config))
+    findings.sort(key=Finding.sort_key)
+    return LintReport(
+        findings=findings,
+        files_scanned=files_scanned,
+        rules_run=tuple(rule.rule_id for rule in rules),
+    )

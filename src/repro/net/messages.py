@@ -54,17 +54,23 @@ PORT_POOL = "pool"
 PORT_SERVER = "server"
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class for all network messages.
+
+    Messages are immutable value objects (``frozen=True``, enforced
+    statically by lint rule R4): once constructed, the sender's copy can
+    never change under the feet of whoever holds a reference.
 
     Attributes
     ----------
     src, dst:
         Endpoint addresses (:class:`Addr`).
     send_time:
-        Simulated time at which the message entered the network, filled in
-        by :meth:`repro.net.network.Network.send`.
+        Simulated time at which the message entered the network.  The
+        sender's instance keeps the ``nan`` default;
+        :meth:`repro.net.network.Network.send` delivers a stamped copy
+        (``dataclasses.replace``, preserving ``msg_id``).
     msg_id:
         Unique id, used to correlate requests and replies.
     """
@@ -79,7 +85,7 @@ class Message:
         return type(self).__name__
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class PowerRequest(Message):
     """Ask ``dst`` for power.
 
@@ -100,7 +106,7 @@ class PowerRequest(Message):
             raise ValueError("alpha is only meaningful on urgent requests")
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class PowerGrant(Message):
     """Reply to a :class:`PowerRequest` carrying ``delta`` watts."""
 
@@ -114,7 +120,7 @@ class PowerGrant(Message):
             raise ValueError(f"delta must be non-negative, got {self.delta!r}")
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class GrantAck(Message):
     """Acknowledge receipt of a :class:`PowerGrant`.
 
@@ -133,7 +139,7 @@ class GrantAck(Message):
             raise ValueError(f"delta must be non-negative, got {self.delta!r}")
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class ExcessReport(Message):
     """Deposit ``delta`` watts of freed power with ``dst`` (SLURM server)."""
 
@@ -144,7 +150,7 @@ class ExcessReport(Message):
             raise ValueError(f"excess must be positive, got {self.delta!r}")
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class ReleaseDirective(Message):
     """Centralized urgency: server tells ``dst`` to fall back to its
     initial cap and surrender the excess."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Set
 
 import numpy as np
@@ -152,7 +152,6 @@ class Network:
         stats.sent += 1
         kind = message.kind
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
-        message.send_time = self.engine._now
         delay = self.topology.latency.sample(
             message.src.node, message.dst.node, self._rng
         )
@@ -164,9 +163,15 @@ class Network:
         ) < self.loss_probability:
             stats.dropped_loss += 1
             return
+        # Messages are frozen value objects: delivery carries a *stamped
+        # copy* (same msg_id -- replace() does not redraw it) instead of
+        # mutating the sender's instance retroactively.  Stamping after the
+        # drop checks keeps the copy off the dropped paths.
+        stamped = replace(message, send_time=self.engine._now)
         # Direct Callback construction (== engine.call_later) saves a call
-        # per message on the simulation's hottest path.
-        Callback(self.engine, delay, self._deliver, message)
+        # per message on the simulation's hottest path; constant tiebreak
+        # key for the same reason.
+        Callback(self.engine, delay, self._deliver, stamped, name="net.deliver")
 
     def _deliver(self, message: Message) -> None:
         # Conditions are evaluated at *arrival* time: a destination that died

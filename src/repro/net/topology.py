@@ -66,7 +66,9 @@ class Topology:
     def partition(self, isolated: Iterable[int]) -> None:
         """Isolate ``isolated`` from the rest of the cluster."""
         ids = set(isolated)
-        for node_id in ids:
+        # sorted(): which unknown id the error names must not depend on
+        # set iteration order.
+        for node_id in sorted(ids):
             if not self.contains(node_id):
                 raise ValueError(f"unknown node id {node_id!r}")
         self._partitioned |= ids

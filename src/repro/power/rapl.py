@@ -138,8 +138,16 @@ class SimulatedRapl(PowerCapInterface):
         else:
             # A single callback event, not a process: cap writes happen on
             # nearly every decider iteration, making enforcement one of the
-            # kernel's hottest paths.
-            Callback(self.engine, delay, self._enforce, clamped, self._set_version)
+            # kernel's hottest paths -- the tiebreak key is a constant, not
+            # a per-write f-string.
+            Callback(
+                self.engine,
+                delay,
+                self._enforce,
+                clamped,
+                self._set_version,
+                name="rapl.enforce",
+            )
         return clamped
 
     def _enforce(self, cap: float, version: int) -> None:

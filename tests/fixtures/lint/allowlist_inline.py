@@ -1,0 +1,26 @@
+"""Inline-suppression fixture: the same violations, justified in place."""
+
+import time
+
+
+def suppressed_trailing() -> float:
+    return time.time()  # lint: allow[R1] cache-file mtime, not sim time
+
+
+def suppressed_comment_above(pool, watts: float) -> None:
+    # lint: allow[R5] test harness resets the pool between cases
+    pool._balance_w = watts
+
+
+def suppressed_wrong_rule() -> float:
+    return time.time()  # lint: allow[R5] wrong id -- R1 still fires (line 16)
+
+
+def unsuppressed() -> float:
+    return time.time()  # line 20: R1 fires
+
+
+def multi_rule(pool) -> float:
+    # lint: allow[R1, R5] both rules justified at once
+    pool._balance_w = time.time()
+    return pool._balance_w

@@ -1,0 +1,3 @@
+"""Unparseable fixture: the analyzer must report, not crash."""
+
+def truncated(:

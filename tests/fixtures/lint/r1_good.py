@@ -1,0 +1,23 @@
+"""R1 fixture: the allowed clocks and RNG plumbing."""
+
+import time
+
+
+def wall_profiling() -> float:
+    return time.perf_counter()  # monotonic profiling clock: allowed
+
+
+def monotonic_ok() -> float:
+    return time.monotonic()  # allowed
+
+
+def cpu_time_ok() -> float:
+    return time.process_time()  # allowed
+
+
+def simulated_time(engine) -> float:
+    return engine.now  # simulated clock: the right source of "time"
+
+
+def draw(rng) -> float:
+    return float(rng.random())  # parameter-passed Generator: allowed

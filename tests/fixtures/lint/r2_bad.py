@@ -1,0 +1,29 @@
+"""R2 fixture: ad-hoc numpy generator construction and legacy draws."""
+
+import numpy as np
+import numpy.random
+from numpy.random import default_rng
+
+
+def bad_default_rng() -> object:
+    return np.random.default_rng()  # line 9: R2
+
+
+def bad_seeded_rng() -> object:
+    return np.random.default_rng(42)  # line 13: R2 (seeded is still ad hoc)
+
+
+def bad_imported_ctor() -> object:
+    return default_rng(7)  # line 17: R2
+
+
+def bad_random_state() -> object:
+    return numpy.random.RandomState(0)  # line 21: R2
+
+
+def bad_legacy_draw() -> float:
+    return float(np.random.random())  # line 25: R2
+
+
+def bad_global_seed() -> None:
+    np.random.seed(0)  # line 29: R2

@@ -1,0 +1,13 @@
+"""R2 fixture: generators arrive via parameters or the named registry."""
+
+import numpy as np
+
+
+def draw_from_parameter(rng: np.random.Generator) -> float:
+    # Annotating with np.random.Generator is fine -- only *calls* into
+    # numpy.random construct state.
+    return float(rng.random())
+
+
+def draw_from_registry(rngs) -> float:
+    return float(rngs.stream("latency").random())

@@ -1,0 +1,44 @@
+"""R3 fixture: unordered iteration over sets."""
+
+from typing import Set
+
+PEERS: Set[int] = set()
+
+
+def bad_for_loop(peer_ids) -> None:
+    peers = set(peer_ids)
+    for peer in peers:  # line 10: R3
+        print(peer)
+
+
+def bad_literal_loop() -> None:
+    for node in {3, 1, 2}:  # line 15: R3
+        print(node)
+
+
+def bad_comprehension(peer_ids) -> list:
+    alive = {p for p in peer_ids}
+    return [p + 1 for p in alive]  # line 21: R3
+
+
+def bad_module_set() -> None:
+    for peer in PEERS:  # line 25: R3
+        print(peer)
+
+
+def bad_sum(weights: Set[float]) -> float:
+    return sum(weights)  # line 30: R3 (float addition is order-sensitive)
+
+
+class Sampler:
+    def __init__(self) -> None:
+        self.candidates: Set[int] = set()
+
+    def bad_attribute_loop(self) -> None:
+        for node in self.candidates:  # line 38: R3
+            print(node)
+
+
+def bad_union_loop(a: Set[int], b) -> None:
+    for node in a | b:  # line 43: R3
+        print(node)

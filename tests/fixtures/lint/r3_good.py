@@ -1,0 +1,30 @@
+"""R3 fixture: sets used deterministically."""
+
+from typing import Set
+
+
+def sorted_iteration(peer_ids) -> None:
+    peers = set(peer_ids)
+    for peer in sorted(peers):  # explicit ordering: allowed
+        print(peer)
+
+
+def membership_only(peers: Set[int], node: int) -> bool:
+    return node in peers  # membership tests never leak order
+
+
+def size_only(peers: Set[int]) -> int:
+    return len(peers)
+
+
+def order_insensitive(peers: Set[int]) -> int:
+    return max(peers) if peers else -1  # min/max are order-insensitive
+
+
+def set_algebra(a: Set[int], b: Set[int]) -> Set[int]:
+    return a | b  # algebra without iteration is fine
+
+
+def dict_iteration(caps: dict) -> None:
+    for node, cap in caps.items():  # dicts are insertion-ordered (3.7+)
+        print(node, cap)

@@ -1,0 +1,26 @@
+"""R4 fixture: frozen messages and replace()-based stamping."""
+
+from dataclasses import dataclass, replace
+
+from repro.net.messages import Message
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenPing(Message):
+    payload: float = 0.0
+
+
+@dataclass(slots=True)
+class NotAMessage:  # plain dataclasses outside messages.py are fine
+    cursor: int = 0
+
+
+def stamp(message, now: float):
+    return replace(message, send_time=now)  # immutable update: allowed
+
+
+class Carrier:
+    def __init__(self) -> None:
+        # 'self.send_time' on a non-message class is that class's own
+        # business -- only foreign-object writes are flagged.
+        self.send_time = 0.0

@@ -1,0 +1,21 @@
+"""R5 fixture: raw ledger mutations outside the audited pool methods."""
+
+
+def bad_deposit(pool, watts: float) -> None:
+    pool._balance_w += watts  # line 5: R5
+
+
+def bad_drain(pool) -> None:
+    pool._balance_w = 0.0  # line 9: R5
+
+
+def bad_grant_accounting(pool, delta: float) -> None:
+    pool.granted_out_w += delta  # line 13: R5
+
+
+def bad_debt_forgiveness(pool) -> None:
+    pool.reclaim_debt_w = 0.0  # line 17: R5
+
+
+def bad_escrow_touch(pool, delta: float) -> None:
+    pool._escrow_w -= delta  # line 21: R5

@@ -1,0 +1,17 @@
+"""R5 fixture: balance movement through the audited pool API."""
+
+
+def good_deposit(pool, watts: float) -> None:
+    pool.deposit(watts)  # audited mutator: pairs the ledger terms
+
+
+def good_withdraw(pool, watts: float) -> float:
+    return pool.withdraw_up_to(watts)
+
+
+def good_read(pool) -> float:
+    return pool.balance_w  # reads are always fine
+
+
+def good_writeoff(pool) -> float:
+    return pool.forfeit_balance()  # the audited dead-node path

@@ -1,0 +1,126 @@
+"""CLI behavior of ``repro lint``: exit codes, JSON shape, config loading."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint.cli import REPORT_VERSION
+from repro.lint.config import load_config
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+SRC = Path(__file__).parents[1] / "src"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "r1_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "R1" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", str(SRC), "--rules", "R99"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+
+    def test_missing_config_exits_two(self, capsys):
+        code = main(["lint", str(SRC), "--config", "no/such/pyproject.toml"])
+        assert code == 2
+
+    def test_broken_file_exits_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "broken.py")]) == 1
+        assert "PARSE" in capsys.readouterr().out
+
+
+class TestJsonReport:
+    def test_shape_and_counts(self, capsys):
+        main(["lint", str(FIXTURES / "r6_bad.py"), "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == REPORT_VERSION
+        assert report["files_scanned"] == 1
+        assert report["counts"] == {"R6": 2}
+        assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        finding = report["findings"][0]
+        assert set(finding) == {"rule", "path", "line", "col", "message", "snippet"}
+        assert finding["rule"] == "R6"
+        assert finding["line"] == 7
+
+    def test_clean_json_report(self, capsys):
+        assert main(["lint", str(SRC), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == []
+        assert report["counts"] == {}
+
+    def test_rule_subset(self, capsys):
+        main(["lint", str(FIXTURES / "r1_bad.py"), "--rules", "R5,R6",
+              "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules_run"] == ["R5", "R6"]
+        assert report["findings"] == []
+
+
+class TestListRules:
+    def test_lists_all_six(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out
+        assert "invariant:" in out
+
+
+class TestConfigLoading:
+    def test_checked_in_pyproject_carries_allowlists(self):
+        config = load_config(Path(__file__).parents[1] / "pyproject.toml")
+        assert config.path_allowed("R2", "src/repro/sim/rng.py")
+        assert config.path_allowed("R5", "src/repro/managers/slurm.py")
+        assert not config.path_allowed("R5", "src/repro/core/decider.py")
+        assert not config.path_allowed("R1", "src/repro/sim/rng.py")
+
+    def test_explicit_config_flag(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            textwrap.dedent(
+                """
+                [tool.repro-lint]
+                disable = ["R1"]
+                """
+            )
+        )
+        code = main(
+            ["lint", str(FIXTURES / "r1_bad.py"), "--config", str(pyproject)]
+        )
+        assert code == 0  # R1 disabled, nothing else fires in that fixture
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_config_allowlist_merges_with_defaults(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            textwrap.dedent(
+                """
+                [tool.repro-lint]
+                [tool.repro-lint.allow]
+                R1 = ["lint/allowlist_inline.py"]
+                """
+            )
+        )
+        config = load_config(pyproject)
+        assert config.path_allowed("R1", str(FIXTURES / "allowlist_inline.py"))
+        # Defaults survive a partial override.
+        assert config.path_allowed("R2", "src/repro/sim/rng.py")
+
+    def test_bad_config_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\ndisable = 3\n")
+        with pytest.raises(ValueError):
+            load_config(pyproject)

@@ -1,0 +1,159 @@
+"""Per-rule analyzer tests against the fixture snippets.
+
+Every rule has a known-bad fixture asserting the *exact* (rule, line)
+pairs reported and a known-good fixture asserting silence, so a rule
+that drifts (new false positive, lost detection) fails here with the
+precise location that changed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_file, lint_paths
+from repro.lint.findings import PARSE_ERROR_RULE
+from repro.lint.registry import all_rules, get_rules
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parents[1]
+
+
+def findings_for(name: str, rule_ids=None, config=None):
+    rules = get_rules(rule_ids)
+    return lint_file(FIXTURES / name, rules, config or LintConfig())
+
+
+def rule_lines(findings, rule_id: str):
+    return [f.line for f in findings if f.rule_id == rule_id]
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_rules_carry_documentation(self):
+        for rule in all_rules():
+            assert rule.name and rule.summary and rule.invariant
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(KeyError):
+            get_rules(["R99"])
+
+
+class TestR1WallClock:
+    def test_bad_fixture_exact_lines(self):
+        findings = findings_for("r1_bad.py", ["R1"])
+        assert rule_lines(findings, "R1") == [11, 15, 19, 23, 27, 31, 35]
+        assert all(f.path.endswith("fixtures/lint/r1_bad.py") for f in findings)
+
+    def test_good_fixture_silent(self):
+        assert findings_for("r1_good.py", ["R1"]) == []
+
+    def test_message_names_the_call(self):
+        (first, *_) = findings_for("r1_bad.py", ["R1"])
+        assert "time.time()" in first.message
+
+
+class TestR2RngStreams:
+    def test_bad_fixture_exact_lines(self):
+        findings = findings_for("r2_bad.py", ["R2"])
+        assert rule_lines(findings, "R2") == [9, 13, 17, 21, 25, 29]
+
+    def test_good_fixture_silent(self):
+        assert findings_for("r2_good.py", ["R2"]) == []
+
+    def test_annotations_not_flagged(self):
+        # np.random.Generator in a signature is a type, not a construction.
+        findings = findings_for("r2_good.py", ["R2"])
+        assert findings == []
+
+
+class TestR3SetIteration:
+    def test_bad_fixture_exact_lines(self):
+        findings = findings_for("r3_bad.py", ["R3"])
+        assert rule_lines(findings, "R3") == [10, 15, 21, 25, 30, 38, 43]
+
+    def test_good_fixture_silent(self):
+        assert findings_for("r3_good.py", ["R3"]) == []
+
+
+class TestR4FrozenMessages:
+    def test_bad_fixture_exact_lines(self):
+        findings = findings_for("r4_bad.py", ["R4"])
+        assert rule_lines(findings, "R4") == [9, 14, 19, 23]
+
+    def test_good_fixture_silent(self):
+        assert findings_for("r4_good.py", ["R4"]) == []
+
+    def test_class_findings_name_the_class(self):
+        findings = findings_for("r4_bad.py", ["R4"])
+        assert "UnfrozenPing" in findings[0].message
+        assert "BarePing" in findings[1].message
+
+
+class TestR5LedgerMutation:
+    def test_bad_fixture_exact_lines(self):
+        findings = findings_for("r5_bad.py", ["R5"])
+        assert rule_lines(findings, "R5") == [5, 9, 13, 17, 21]
+
+    def test_good_fixture_silent(self):
+        assert findings_for("r5_good.py", ["R5"]) == []
+
+    def test_audited_module_exempt(self):
+        # The audited mutators themselves must not self-flag.
+        pool = REPO_ROOT / "src" / "repro" / "core" / "pool.py"
+        assert lint_file(pool, get_rules(["R5"]), LintConfig()) == []
+
+
+class TestR6CallbackNames:
+    def test_bad_fixture_exact_lines(self):
+        findings = findings_for("r6_bad.py", ["R6"])
+        assert rule_lines(findings, "R6") == [7, 11]
+
+    def test_good_fixture_silent(self):
+        assert findings_for("r6_good.py", ["R6"]) == []
+
+
+class TestAllowlists:
+    def test_inline_suppressions(self):
+        findings = findings_for("allowlist_inline.py")
+        # Suppressed: trailing comment (7), comment-above (12), and the
+        # multi-rule comment (25, both R1 and R5).  A comment naming the
+        # wrong rule does not suppress (16).
+        assert rule_lines(findings, "R1") == [16, 20]
+        assert rule_lines(findings, "R5") == []
+
+    def test_config_path_allowlist(self):
+        config = LintConfig(allow={"R1": ("lint/allowlist_inline.py",)})
+        findings = findings_for("allowlist_inline.py", config=config)
+        assert rule_lines(findings, "R1") == []
+
+    def test_config_allowlist_is_per_rule(self):
+        config = LintConfig(allow={"R5": ("lint/allowlist_inline.py",)})
+        findings = findings_for("allowlist_inline.py", config=config)
+        assert rule_lines(findings, "R1") == [16, 20]
+
+    def test_disabled_rule(self):
+        config = LintConfig(disabled=frozenset({"R1"}))
+        findings = findings_for("allowlist_inline.py", config=config)
+        assert findings == []
+
+
+class TestParseErrors:
+    def test_broken_file_reported_not_raised(self):
+        findings = findings_for("broken.py")
+        assert [f.rule_id for f in findings] == [PARSE_ERROR_RULE]
+        assert findings[0].line == 3
+
+
+class TestSelfScan:
+    def test_source_tree_is_clean(self):
+        """The acceptance criterion: `repro lint src` finds nothing."""
+        report = lint_paths([REPO_ROOT / "src"])
+        formatted = "\n".join(f.format() for f in report.findings)
+        assert report.ok, f"lint findings in src/:\n{formatted}"
+        assert report.files_scanned > 70
+        assert list(report.rules_run) == ["R1", "R2", "R3", "R4", "R5", "R6"]

@@ -30,7 +30,10 @@ class TestDelivery:
         assert len(inbox) == 0  # not delivered synchronously
         engine.run()
         assert len(inbox) == 1
-        assert inbox.get_nowait() is msg
+        # Delivery carries a stamped copy (messages are frozen); identity
+        # is the msg_id, not the object.
+        delivered = inbox.get_nowait()
+        assert delivered == msg or delivered.msg_id == msg.msg_id
         assert engine.now == pytest.approx(120e-6)
 
     def test_send_time_stamped(self, engine, net):
@@ -40,7 +43,13 @@ class TestDelivery:
         engine.run()
         msg = request(0, 1)
         net.send(msg)
-        assert msg.send_time == 1.0
+        engine.run()
+        delivered = inbox.get_nowait()
+        # The delivered copy is stamped; the sender's frozen instance
+        # keeps the nan default.
+        assert delivered.send_time == 1.0
+        assert delivered.msg_id == msg.msg_id
+        assert msg.send_time != msg.send_time  # nan
 
     def test_loopback_faster_than_remote(self, engine, net):
         inbox_local = Store(engine)

@@ -205,6 +205,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--audit-interval", type=float, default=1.0, help="auditor probe period (s)"
     )
+    chaos.add_argument(
+        "--partitions",
+        type=int,
+        default=0,
+        help="healed multi-node partitions (membership convergence scenario)",
+    )
+    chaos.add_argument(
+        "--membership",
+        action="store_true",
+        help="run the SWIM failure detector and score it against the schedule",
+    )
+    chaos.add_argument(
+        "--probe-period",
+        type=float,
+        default=0.5,
+        help="membership probe period in simulated seconds",
+    )
+    chaos.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write per-seed detector metrics JSON to this path",
+    )
     _add_runner_args(chaos)
 
     from repro.experiments import bench as _bench
@@ -356,10 +378,22 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
                 burst_loss=args.burst_loss,
                 base_loss=args.base_loss,
                 audit_interval_s=args.audit_interval,
+                partitions=args.partitions,
+                enable_membership=args.membership,
+                membership_probe_period_s=args.probe_period,
             ),
             **runner_kwargs,
         )
         print(format_chaos(results))
+        if args.metrics_out is not None:
+            import json
+
+            metrics = {
+                str(result.spec.seed): result.detector for result in results
+            }
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(metrics, handle, indent=2, sort_keys=True)
+            print(f"[detector metrics written to {args.metrics_out}]", file=sys.stderr)
     elif args.command == "bench":
         from pathlib import Path
 
@@ -371,13 +405,20 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             scales = args.scales
             sim_seconds = args.sim_seconds
             repetitions = args.repetitions
-        bench_mod.main(
+        payload = bench_mod.main(
             scales=scales,
             sim_seconds=sim_seconds,
             repetitions=repetitions,
             baseline_path=Path(args.baseline),
             output=Path(args.output),
         )
+        if not payload["membership"]["within_budget"]:
+            print(
+                "[bench] FAIL: membership overhead exceeds the "
+                f"{1 - bench_mod.MEMBERSHIP_BUDGET_RATIO:.0%} throughput budget",
+                file=sys.stderr,
+            )
+            return 1
     elif args.command == "allocation":
         from repro.experiments.allocation import (
             compare_allocation_quality,

@@ -245,6 +245,49 @@ class FaultPlan:
         self.loss_bursts.append((probability, at_time_s, duration_s))
         return self
 
+    # -- ground truth for detector metrics -----------------------------------
+
+    def dead_intervals(self, horizon_s: float) -> List[Tuple[int, float, float]]:
+        """Per kill: ``(node_id, killed_at, revived_at-or-horizon)``.
+
+        The ground truth a failure detector is scored against: each kill
+        opens an interval that closes at the node's next scheduled
+        restart (the earliest restart of that node strictly after the
+        kill; each restart closes at most one interval) or at the
+        sweep horizon.  Sorted by kill time, then node id.
+        """
+        restarts = sorted(self.restarts, key=lambda r: (r[1], r[0]))
+        used = [False] * len(restarts)
+        intervals: List[Tuple[int, float, float]] = []
+        for node_id, killed_at in sorted(self.node_kills, key=lambda k: (k[1], k[0])):
+            end = horizon_s
+            for index, (restart_id, restart_at) in enumerate(restarts):
+                if not used[index] and restart_id == node_id and restart_at > killed_at:
+                    end = min(restart_at, horizon_s)
+                    used[index] = True
+                    break
+            intervals.append((node_id, killed_at, end))
+        return intervals
+
+    def heal_times(self, horizon_s: float) -> List[float]:
+        """Every instant the fabric heals a partition, within the horizon.
+
+        Covers explicit partitions with a heal delay and each up-edge of
+        a flapping partition; the detector's view-convergence metric is
+        measured from the *last* of these.
+        """
+        heals = [
+            at + heal_after
+            for _, at, heal_after in self.partitions
+            if heal_after is not None and at + heal_after <= horizon_s
+        ]
+        for _, at, down_s, up_s, cycles in self.flaps:
+            for cycle in range(cycles):
+                heal = at + cycle * (down_s + up_s) + down_s
+                if heal <= horizon_s:
+                    heals.append(heal)
+        return sorted(heals)
+
     @property
     def is_empty(self) -> bool:
         return not (

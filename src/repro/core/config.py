@@ -66,6 +66,33 @@ class PenelopeConfig(ManagerConfig):
     #: most twice); entries expire after this long, so peers behind a
     #: healed partition return to the candidate set.
     suspicion_ttl_s: float = 5.0
+    #: SWIM-style gossip membership (src/repro/membership/).  Off by
+    #: default: with the detector disabled the per-node TTL suspicion
+    #: map above is the liveness heuristic and every RNG stream replays
+    #: the pinned kernel fixtures byte-identically.  When enabled, each
+    #: node runs a failure detector whose converging membership view
+    #: replaces the suspicion map for discovery, gates escrow write-offs
+    #: on *confirmed* deaths, and rides piggyback on pool traffic.
+    enable_membership: bool = False
+    #: Protocol period: one direct probe per node per period.
+    membership_probe_period_s: float = 1.0
+    #: Direct-probe ack deadline; on expiry the prober asks
+    #: ``membership_indirect_probes`` relays before suspecting at the
+    #: end of the period.
+    membership_probe_timeout_s: float = 0.25
+    #: k of SWIM: relays asked to ping the target indirectly.
+    membership_indirect_probes: int = 2
+    #: Suspect -> confirmed-dead deadline; a refutation (the subject
+    #: gossiping a higher incarnation) cancels it.
+    membership_suspect_timeout_s: float = 2.0
+    #: Dedicated gossip messages sent per protocol period while updates
+    #: are pending (idle-node dissemination; piggyback covers the rest).
+    membership_gossip_fanout: int = 1
+    #: Max updates piggybacked per outgoing message.
+    membership_piggyback_max: int = 6
+    #: Per-update retransmission budget (~lambda*log N of the SWIM paper
+    #: for the cluster sizes the experiments use).
+    membership_gossip_repeats: int = 4
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -93,6 +120,22 @@ class PenelopeConfig(ManagerConfig):
             raise ValueError("retry jitter must be non-negative")
         if self.suspicion_ttl_s < 0:
             raise ValueError("suspicion TTL must be non-negative")
+        if self.membership_probe_period_s <= 0:
+            raise ValueError("membership probe period must be positive")
+        if not (0.0 < self.membership_probe_timeout_s < self.membership_probe_period_s):
+            raise ValueError(
+                "membership probe timeout must lie inside the probe period"
+            )
+        if self.membership_indirect_probes < 0:
+            raise ValueError("membership indirect probe count must be non-negative")
+        if self.membership_suspect_timeout_s <= 0:
+            raise ValueError("membership suspect timeout must be positive")
+        if self.membership_gossip_fanout < 0:
+            raise ValueError("membership gossip fanout must be non-negative")
+        if self.membership_piggyback_max < 0:
+            raise ValueError("membership piggyback max must be non-negative")
+        if self.membership_gossip_repeats < 1:
+            raise ValueError("membership gossip repeats must be at least 1")
 
     @property
     def effective_escrow_timeout_s(self) -> float:

@@ -26,11 +26,28 @@ requests are retried with exponential backoff and jitter, and peers that
 time out are *suspected* for a while: uniform random discovery re-draws
 (at most twice) when it lands on a suspected peer, steering traffic away
 from crashed or partitioned nodes until the suspicion expires.
+
+With ``enable_membership`` the ad-hoc suspicion map is superseded by the
+SWIM-style failure detector (:mod:`repro.membership`): discovery draws
+its candidates from the live membership view, outgoing requests and acks
+piggyback pending membership gossip, and incoming grants feed direct
+liveness evidence back into the view.  A node whose view empties (e.g.
+full partition) degrades to local-pool-only operation instead of
+erroring.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -53,6 +70,10 @@ from repro.sim._stop import stop_process
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Store
 
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> membership cycle
+    from repro.membership.detector import FailureDetector
+    from repro.net.messages import Message
+
 
 class LocalDecider:
     """Penelope's per-node feedback controller (Algorithm 1).
@@ -73,6 +94,9 @@ class LocalDecider:
         The node's initial assignment -- the urgency threshold.
     rng:
         Random stream for peer choice and start stagger.
+    membership:
+        The node's failure detector when ``enable_membership`` is on;
+        ``None`` keeps the legacy ad-hoc suspicion behaviour bit-exact.
     """
 
     def __init__(
@@ -87,6 +111,7 @@ class LocalDecider:
         config: PenelopeConfig,
         rng: np.random.Generator,
         recorder: Optional[MetricsRecorder] = None,
+        membership: Optional["FailureDetector"] = None,
     ) -> None:
         self.engine = engine
         self.network = network
@@ -123,6 +148,7 @@ class LocalDecider:
         #: Acks awaiting re-transmission (ack-loss hardening): list of
         #: ``[donor addr, grant id, delta, resends left]``.
         self._pending_acks: List[List[Any]] = []
+        self._membership = membership
         self._process: Optional[Process] = None
 
     # -- state inspection ---------------------------------------------------
@@ -218,6 +244,8 @@ class LocalDecider:
                     # once-per-node-per-period path.
                     yield Timeout(engine, next_tick - engine._now)
                 self.iterations += 1
+                if self._suspicion:
+                    self._purge_suspicion()
                 self._flush_pending_acks()
                 self._absorb_stale_grants()
                 power_w = rapl.read_power()
@@ -296,7 +324,7 @@ class LocalDecider:
 
     # -- peer transactions ----------------------------------------------------------
 
-    def _choose_peer(self) -> int:
+    def _choose_peer(self) -> Optional[int]:
         """Power discovery (§3.1 uses uniformly random).
 
         The alternatives exist for the discovery ablation (DESIGN.md §5):
@@ -304,24 +332,40 @@ class LocalDecider:
         peer that actually granted power, falling back to random once it
         runs dry.
 
-        Random discovery is suspicion-aware: a draw landing on a
-        recently-unresponsive peer is re-drawn, at most twice, so a
-        crashed or partitioned neighbourhood sheds traffic without ever
-        becoming unreachable (an unlucky third draw still goes through --
-        a bias, not a ban).  While no peer is suspected the single-draw
-        RNG pattern is untouched.  Expired suspicions are purged lazily
-        on the way.
+        With membership enabled the candidate set is the failure
+        detector's live view instead of the static roster: ``ring`` walks
+        the live list, ``sticky`` holds only while the sticky peer is
+        still believed alive, and random draws uniformly over live peers
+        (no redraws needed -- suspects are already excluded).  An empty
+        view returns ``None``: graceful degradation to local-pool-only
+        operation rather than an error.
+
+        Without membership, random discovery is suspicion-aware: a draw
+        landing on a recently-unresponsive peer is re-drawn, at most
+        twice, so a crashed or partitioned neighbourhood sheds traffic
+        without ever becoming unreachable (an unlucky third draw still
+        goes through -- a bias, not a ban).  While no peer is suspected
+        the single-draw RNG pattern is untouched.  Expired suspicions
+        are purged lazily on the way.
         """
+        membership = self._membership
+        if membership is not None:
+            candidates: Sequence[int] = membership.live_peers()
+            if not candidates:
+                self.recorder.bump("decider.no_live_peers")
+                return None
+        else:
+            candidates = self.peers
         if self.config.discovery == "ring":
-            peer = self.peers[self._ring_index % len(self.peers)]
+            peer = candidates[self._ring_index % len(candidates)]
             self._ring_index += 1
             return int(peer)
         if self.config.discovery == "sticky" and self._sticky_peer is not None:
-            return self._sticky_peer
-        peers = self.peers
+            if membership is None or self._sticky_peer in candidates:
+                return self._sticky_peer
         rng = self._rng
-        peer = int(peers[int(rng.integers(0, len(peers)))])
-        if self._suspicion:
+        peer = int(candidates[int(rng.integers(0, len(candidates)))])
+        if membership is None and self._suspicion:
             now = self.engine._now
             for _ in range(2):
                 expiry = self._suspicion.get(peer)
@@ -331,14 +375,37 @@ class LocalDecider:
                     del self._suspicion[peer]
                     break
                 self.recorder.bump("decider.suspicion_redraws")
-                peer = int(peers[int(rng.integers(0, len(peers)))])
+                peer = int(candidates[int(rng.integers(0, len(candidates)))])
         return peer
 
     def _suspect(self, peer: int) -> None:
-        """Bias discovery away from ``peer`` until the suspicion expires."""
+        """Bias discovery away from ``peer`` until the suspicion expires.
+
+        A suspected peer also stops being the sticky-discovery target:
+        holding on to it would pin every iteration's request on a node we
+        just watched time out.  Once the suspicion expires (or membership
+        revives the peer) it re-enters the candidate set and can earn
+        stickiness back by granting.
+
+        With membership enabled the detector's probe machinery is the
+        liveness source of truth and the ad-hoc TTL map stays empty.
+        """
+        if peer == self._sticky_peer:
+            self._sticky_peer = None
+        if self._membership is not None:
+            return
         ttl = self.config.suspicion_ttl_s
         if ttl > 0:
             self._suspicion[peer] = self.engine._now + ttl
+
+    def _purge_suspicion(self) -> None:
+        """Drop expired suspicion entries (every tick, not just when the
+        redraw loop happens to land on one -- a suspicion acquired and
+        never re-drawn would otherwise linger forever)."""
+        now = self.engine._now
+        expired = [peer for peer, expiry in self._suspicion.items() if expiry <= now]
+        for peer in expired:
+            del self._suspicion[peer]
 
     def _note_grant_outcome(self, peer: int, granted_w: float) -> None:
         """Update sticky-discovery state after a transaction."""
@@ -393,8 +460,14 @@ class LocalDecider:
         Returns ``(granted watts, timed out)``.  A grant that arrives
         *after* the timeout is not lost: the next iteration's
         :meth:`_absorb_stale_grants` deposits it into the local pool.
+
+        When discovery yields no candidate (membership view empty) the
+        attempt is skipped entirely -- no request, no timeout -- and the
+        node runs on its local pool until the view repopulates.
         """
         peer = self._choose_peer()
+        if peer is None:
+            return 0.0, False
         alpha = max(0.0, self.initial_cap_w - self.cap_w) if urgent else 0.0
         request = PowerRequest(
             src=self.addr,
@@ -408,7 +481,7 @@ class LocalDecider:
             self.urgent_requests_sent += 1
         engine = self.engine
         sent_at = engine._now
-        self.network.send(request)
+        self.network.send(self._stamp(request))
 
         deadline = engine.timeout(self.config.timeout_s)
         granted = 0.0
@@ -431,6 +504,7 @@ class LocalDecider:
                 message = get_event.value
                 if isinstance(message, PowerGrant) and message.reply_to == request.msg_id:
                     self._suspicion.pop(peer, None)
+                    self._ingest(message)
                     self._acknowledge_grant(message)
                     granted = message.delta
                     if granted > 0:
@@ -472,11 +546,13 @@ class LocalDecider:
         if grant.delta <= 0 or not self.config.enable_escrow:
             return
         self.network.send(
-            GrantAck(
-                src=self.addr,
-                dst=grant.src,
-                reply_to=grant.msg_id,
-                delta=grant.delta,
+            self._stamp(
+                GrantAck(
+                    src=self.addr,
+                    dst=grant.src,
+                    reply_to=grant.msg_id,
+                    delta=grant.delta,
+                )
             )
         )
         if self.config.grant_ack_retries > 0:
@@ -492,7 +568,11 @@ class LocalDecider:
         remaining: List[List[Any]] = []
         for entry in self._pending_acks:
             dst, grant_id, delta, resends = entry
-            send(GrantAck(src=self.addr, dst=dst, reply_to=grant_id, delta=delta))
+            send(
+                self._stamp(
+                    GrantAck(src=self.addr, dst=dst, reply_to=grant_id, delta=delta)
+                )
+            )
             self.recorder.bump("decider.ack_resends")
             if resends > 1:
                 entry[3] = resends - 1
@@ -512,6 +592,12 @@ class LocalDecider:
             self._absorb_grant(self.inbox.get_nowait())
 
     def _absorb_grant(self, message: Any) -> None:
+        # Any message reaching us is direct liveness evidence for its
+        # sender: clear the ad-hoc suspicion immediately (a peer that just
+        # granted power is plainly not crashed) and feed the membership
+        # view, which also merges any piggybacked gossip.
+        self._suspicion.pop(message.src.node, None)
+        self._ingest(message)
         if isinstance(message, PowerGrant):
             if message.delta > 0:
                 self._acknowledge_grant(message)
@@ -525,3 +611,16 @@ class LocalDecider:
                 self.recorder.bump("decider.empty_grants")
         else:
             self.recorder.bump("decider.unexpected_messages")
+
+    # -- membership plumbing ------------------------------------------------------
+
+    def _stamp(self, message: "Message") -> "Message":
+        """Piggyback pending membership gossip onto an outgoing message."""
+        if self._membership is not None:
+            return self._membership.stamp(message)
+        return message
+
+    def _ingest(self, message: "Message") -> None:
+        """Feed an incoming message (liveness + gossip) to the detector."""
+        if self._membership is not None:
+            self._membership.ingest(message)

@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import PenelopeConfig
 from repro.core.decider import LocalDecider
 from repro.core.pool import PowerPool
 from repro.instrumentation import MetricsRecorder
 from repro.managers.base import PowerManager
+from repro.membership.detector import FailureDetector
+from repro.membership.view import MembershipTransition
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,11 @@ class PenelopeManager(PowerManager):
         self.config: PenelopeConfig
         self.pools: Dict[int, PowerPool] = {}
         self.deciders: Dict[int, LocalDecider] = {}
+        #: Per-node failure detectors (populated when ``enable_membership``).
+        self.detectors: Dict[int, FailureDetector] = {}
+        #: Transitions recorded by detector generations replaced via
+        #: revive (merged into :meth:`membership_transitions`).
+        self._retired_transitions: List[MembershipTransition] = []
         #: Outstanding dead-node write-offs: node id -> watts (frozen cap
         #: + forfeited pool balance, recorded at kill, spent at revive).
         self.write_offs: Dict[int, float] = {}
@@ -114,6 +121,28 @@ class PenelopeManager(PowerManager):
         cluster = self.cluster
         node = cluster.node(node_id)
         suffix = f".gen{generation}" if generation else ""
+        detector: Optional[FailureDetector] = None
+        if self.config.enable_membership:
+            incarnation = 0
+            previous = self.detectors.get(node_id)
+            if previous is not None:
+                # Crash-restart: rejoin one incarnation past the dead
+                # generation so peers holding a ``dead`` entry accept the
+                # fresh ``alive`` announcement; keep the old view's
+                # transitions for the merged metrics timeline.
+                incarnation = previous.view.incarnation + 1
+                self._retired_transitions.extend(previous.view.transitions)
+            detector = FailureDetector(
+                cluster.engine,
+                cluster.network,
+                node_id,
+                self.client_ids,
+                self.config,
+                cluster.rngs.stream(f"penelope.membership.{node_id}{suffix}"),
+                recorder=self.recorder,
+                initial_incarnation=incarnation,
+            )
+            self.detectors[node_id] = detector
         pool = PowerPool(
             cluster.engine,
             cluster.network,
@@ -121,6 +150,7 @@ class PenelopeManager(PowerManager):
             self.config,
             cluster.rngs.stream(f"penelope.pool.{node_id}{suffix}"),
             recorder=self.recorder,
+            membership=detector,
         )
         decider = LocalDecider(
             cluster.engine,
@@ -133,6 +163,7 @@ class PenelopeManager(PowerManager):
             config=self.config,
             rng=cluster.rngs.stream(f"penelope.decider.{node_id}{suffix}"),
             recorder=self.recorder,
+            membership=detector,
         )
         self.pools[node_id] = pool
         self.deciders[node_id] = decider
@@ -140,9 +171,13 @@ class PenelopeManager(PowerManager):
         # books what the crash destroyed (frozen cap + cached power).
         node.on_kill.append(pool.stop)
         node.on_kill.append(decider.stop)
+        if detector is not None:
+            node.on_kill.append(detector.stop)
         node.on_kill.append(lambda: self._record_write_off(node_id))
 
     def _start_agents(self) -> None:
+        for detector in self.detectors.values():
+            detector.start()
         for pool in self.pools.values():
             pool.start()
         for decider in self.deciders.values():
@@ -153,6 +188,8 @@ class PenelopeManager(PowerManager):
             decider.stop()
         for pool in self.pools.values():
             pool.stop()
+        for detector in self.detectors.values():
+            detector.stop()
 
     # -- crash accounting and restart ---------------------------------------------
 
@@ -212,9 +249,24 @@ class PenelopeManager(PowerManager):
         if leftover_w > 0:
             self.pools[node_id].deposit(leftover_w)
         if self._started:
+            detector = self.detectors.get(node_id)
+            if detector is not None:
+                detector.start()
             self.pools[node_id].start()
             self.deciders[node_id].start()
         self.recorder.bump("manager.revives")
+
+    # -- membership ---------------------------------------------------------------
+
+    def membership_transitions(self) -> List[MembershipTransition]:
+        """All membership state changes seen anywhere in the cluster,
+        across revive generations, in a deterministic global order (the
+        chaos detector-metrics input)."""
+        merged = list(self._retired_transitions)
+        for detector in self.detectors.values():
+            merged.extend(detector.view.transitions)
+        merged.sort(key=lambda t: (t.time, t.observer, t.subject))
+        return merged
 
     # -- accounting --------------------------------------------------------------
 

@@ -17,18 +17,29 @@ grant applied but its *ack* lost, so the refund duplicates power -- is
 repaired when a late ack finally lands: the pool reclaims the refunded
 watts from its balance, recording any shortfall as ``reclaim_debt_w``
 that future deposits pay down first.
+
+With membership enabled the escrow verdict follows the failure
+detector's state machine instead of the raw timer: an escrow expiring
+while its requester is *suspected* is deferred (re-armed) rather than
+refunded -- the detector has not decided yet -- and a membership
+*confirm* (dead) writes off every open escrow to that peer immediately.
+A refutation simply returns the peer to ``alive``, after which the next
+deferral expiry refunds normally and a late ack still settles or
+reclaims through the usual paths.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple, TypeVar
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, TypeVar
 
 import numpy as np
 
 from repro.core.config import PenelopeConfig
 from repro.instrumentation import MetricsRecorder
 from repro.net.messages import (
+    MEMBER_DEAD,
+    MEMBER_SUSPECT,
     PORT_POOL,
     Addr,
     GrantAck,
@@ -40,6 +51,10 @@ from repro.net.network import Network
 from repro.net.server import RequestServer
 from repro.sim.engine import Engine
 from repro.sim.events import Callback
+
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> membership cycle
+    from repro.membership.detector import FailureDetector
+    from repro.membership.view import MembershipTransition
 
 
 def clamp_transaction(pool_w: float, rate: float, lower_w: float, upper_w: float) -> float:
@@ -87,11 +102,15 @@ class PowerPool:
         config: PenelopeConfig,
         rng: np.random.Generator,
         recorder: Optional[MetricsRecorder] = None,
+        membership: Optional["FailureDetector"] = None,
     ) -> None:
         self.engine = engine
         self.node_id = node_id
         self.config = config
         self.recorder = recorder or MetricsRecorder()
+        self._membership = membership
+        if membership is not None:
+            membership.view.listeners.append(self._on_membership_transition)
         self.addr = Addr(node_id, PORT_POOL)
         self._balance_w = 0.0
         #: Set when the pool serves an urgent request; read and cleared by
@@ -198,6 +217,9 @@ class PowerPool:
     # -- server side (Algorithm 2) ---------------------------------------------
 
     def _handle_request(self, message: Message) -> Tuple[Message, ...]:
+        if self._membership is not None:
+            # Direct liveness evidence plus any piggybacked gossip.
+            self._membership.ingest(message)
         if isinstance(message, GrantAck):
             self._handle_grant_ack(message)
             return ()
@@ -238,6 +260,10 @@ class PowerPool:
         )
         if delta > 0 and self.config.enable_escrow:
             self._open_escrow(reply.msg_id, delta, message.src.node)
+        if self._membership is not None:
+            # replace() keeps msg_id, so the escrow entry keyed above and
+            # the requester's reply_to correlation both still match.
+            reply = self._membership.stamp(reply)
         return (reply,)
 
     # -- escrow lifecycle --------------------------------------------------------
@@ -255,10 +281,30 @@ class PowerPool:
 
     def _expire_escrow(self, grant_id: int) -> None:
         """Refund an escrow whose ack never arrived (timer callback)."""
-        entry = self._escrow.pop(grant_id, None)
+        entry = self._escrow.get(grant_id)
         if entry is None:  # pragma: no cover - settled acks cancel the timer
             return
         delta, requester, _ = entry
+        if (
+            self._membership is not None
+            and self._membership.view.status_of(requester) == MEMBER_SUSPECT
+        ):
+            # Verdict pending: the detector suspects the requester but has
+            # not confirmed.  Hold the watts in escrow for another round --
+            # a confirm writes them off via the membership listener, a
+            # refutation lets the next expiry refund normally, and a late
+            # ack still settles at any point.
+            timer = Callback(
+                self.engine,
+                self.config.effective_escrow_timeout_s,
+                self._expire_escrow,
+                grant_id,
+                name=f"escrow[{self.node_id}->{requester}#{grant_id}]",
+            )
+            self._escrow[grant_id] = (delta, requester, timer)
+            self.recorder.bump("pool.escrow_deferrals")
+            return
+        del self._escrow[grant_id]
         self._escrow_w -= delta
         self.granted_out_w -= delta
         self._credit(delta)
@@ -309,6 +355,30 @@ class PowerPool:
             self.recorder.bump("pool.duplicate_acks")
         else:
             self.recorder.bump("pool.unknown_acks")
+
+    def _on_membership_transition(self, transition: "MembershipTransition") -> None:
+        """Escrow hook on the local membership view (membership mode only).
+
+        A *confirm* (dead) is the detector's definitive verdict: every
+        escrow still open toward that peer is written off -- refunded into
+        the pool right away instead of waiting out (possibly deferred)
+        timers.  The refund goes through :meth:`_expire_escrow`, so a
+        grant that was in fact applied is later reconciled by the
+        late-ack reclaim path like any other refund.
+        """
+        if transition.status != MEMBER_DEAD:
+            return
+        doomed = [
+            grant_id
+            for grant_id, (_, requester, _) in self._escrow.items()
+            if requester == transition.subject
+        ]
+        for grant_id in doomed:
+            _, _, timer = self._escrow[grant_id]
+            if not timer.processed:
+                timer.cancel()
+            self.recorder.bump("pool.escrow_confirm_writeoffs")
+            self._expire_escrow(grant_id)
 
     @staticmethod
     def _remember(history: "OrderedDict[int, _V]", key: int, value: _V) -> None:

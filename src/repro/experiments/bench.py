@@ -19,6 +19,7 @@ kernel that simulates the scenario correctly:
 
 * messages sent on the network fabric,
 * decider control-loop iterations,
+* failure-detector probe rounds (when membership is enabled),
 * RAPL cap writes and power reads.
 
 ``events_per_sec`` = logical events / wall seconds is comparable across
@@ -41,6 +42,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
+from repro.core.config import PenelopeConfig
 from repro.experiments.harness import RunSpec, build_run
 
 #: Cluster sizes of the default sweep (the paper's Fig. 6/8 range spans
@@ -53,13 +55,24 @@ DEFAULT_REPETITIONS = 3
 DEFAULT_BASELINE = Path("benchmarks/results/BENCH_kernel_baseline.json")
 DEFAULT_OUTPUT = Path("BENCH_kernel.json")
 
+#: The SWIM failure detector may not cost the kernel more than 5% of its
+#: event throughput on the nominal scenario (ISSUE 5 overhead budget):
+#: membership-on events/sec must stay >= this fraction of membership-off.
+MEMBERSHIP_BUDGET_RATIO = 0.95
 
-def bench_spec(n_clients: int) -> RunSpec:
+#: Scale at which the membership overhead guard runs (falls back to the
+#: largest measured scale when 256 is not in the sweep).
+MEMBERSHIP_GUARD_SCALE = 256
+
+
+def bench_spec(n_clients: int, membership: bool = False) -> RunSpec:
     """The nominal scenario used for all kernel measurements.
 
     Penelope at EP:DC under an 80 W/socket cap -- the configuration with
     the liveliest request/grant traffic, so every kernel path (messages,
-    timeouts, cap enforcement, condition waits) is exercised.
+    timeouts, cap enforcement, condition waits) is exercised.  With
+    ``membership`` the same scenario also runs the SWIM failure detector
+    on every node (the overhead-guard variant).
     """
     return RunSpec(
         "penelope",
@@ -68,6 +81,7 @@ def bench_spec(n_clients: int) -> RunSpec:
         n_clients=n_clients,
         seed=2022,
         workload_scale=1.0,
+        manager_config=PenelopeConfig(enable_membership=True) if membership else None,
     )
 
 
@@ -78,52 +92,68 @@ def _logical_events(cluster: Any, manager: Any) -> int:
         total += node.rapl.cap_writes + node.rapl.power_reads
     for decider in getattr(manager, "deciders", {}).values():
         total += decider.iterations
+    for detector in getattr(manager, "detectors", {}).values():
+        total += detector.probe_rounds
     return total
+
+
+def _measure_once(
+    n_clients: int, sim_seconds: float, membership: bool
+) -> "tuple[float, int, int, int]":
+    """One timed run: ``(wall_s, logical, engine_events, engine_cancelled)``.
+
+    Builds a fresh simulation universe (construction is excluded from the
+    timed section) and runs the engine to the horizon with the cyclic
+    garbage collector disabled -- its pauses land on random repetitions
+    and can dwarf the kernel differences under test.
+    """
+    engine, cluster, manager = build_run(
+        bench_spec(n_clients, membership=membership)
+    )
+    manager.start()
+    for node in cluster.compute_nodes():
+        node.start_workload()
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        engine.run(until=sim_seconds)
+        wall = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    # The seed revision predates lazy timeout deletion.
+    cancelled = getattr(engine, "cancelled_events", 0)
+    return wall, _logical_events(cluster, manager), engine.processed_events, cancelled
 
 
 def measure_scale(
     n_clients: int,
     sim_seconds: float = DEFAULT_SIM_SECONDS,
     repetitions: int = DEFAULT_REPETITIONS,
+    membership: bool = False,
 ) -> Dict[str, Any]:
     """Run the nominal scenario for ``sim_seconds`` and time the kernel.
 
-    Each repetition builds a fresh simulation universe (construction is
-    excluded from the timed section) and runs the engine to the horizon;
-    the best wall time is reported to suppress scheduler noise.  The
-    event counts are identical across repetitions by determinism.
+    The best wall time across repetitions is reported to suppress
+    scheduler noise; the event counts are identical across repetitions
+    by determinism.
     """
     best_wall: Optional[float] = None
     engine_events = 0
     engine_cancelled = 0
     logical = 0
     for _ in range(max(1, repetitions)):
-        engine, cluster, manager = build_run(bench_spec(n_clients))
-        manager.start()
-        for node in cluster.compute_nodes():
-            node.start_workload()
-        # Collect construction garbage before timing and keep the cyclic
-        # collector out of the timed section: its pauses land on random
-        # repetitions and can dwarf the kernel differences under test.
-        gc.collect()
-        gc_was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            started = time.perf_counter()
-            engine.run(until=sim_seconds)
-            wall = time.perf_counter() - started
-        finally:
-            if gc_was_enabled:
-                gc.enable()
+        wall, logical, engine_events, engine_cancelled = _measure_once(
+            n_clients, sim_seconds, membership
+        )
         if best_wall is None or wall < best_wall:
             best_wall = wall
-        engine_events = engine.processed_events
-        # The seed revision predates lazy timeout deletion.
-        engine_cancelled = getattr(engine, "cancelled_events", 0)
-        logical = _logical_events(cluster, manager)
     assert best_wall is not None
     return {
         "n_clients": n_clients,
+        "membership": membership,
         "sim_seconds": sim_seconds,
         "repetitions": repetitions,
         "wall_s": best_wall,
@@ -134,6 +164,52 @@ def measure_scale(
         "engine_cancelled": engine_cancelled,
         "engine_events_per_sec": engine_events / best_wall,
     }
+
+
+def measure_guard_pair(
+    n_clients: int,
+    sim_seconds: float = DEFAULT_SIM_SECONDS,
+    repetitions: int = DEFAULT_REPETITIONS,
+) -> "tuple[Dict[str, Any], Dict[str, Any]]":
+    """Measure membership-off and membership-on back to back, interleaved.
+
+    The overhead guard compares two short runs, so slow drift in machine
+    speed (CPU frequency scaling, background load) between the two
+    measurements can swamp the ~5% effect under test.  Alternating
+    plain/membership runs within each repetition makes both sides sample
+    the same drift; best-of-N then suppresses the fast noise.
+    """
+    best: Dict[bool, Optional[float]] = {False: None, True: None}
+    counts: Dict[bool, "tuple[int, int, int]"] = {}
+    for _ in range(max(1, repetitions)):
+        for membership in (False, True):
+            wall, logical, engine_events, cancelled = _measure_once(
+                n_clients, sim_seconds, membership
+            )
+            previous = best[membership]
+            if previous is None or wall < previous:
+                best[membership] = wall
+            counts[membership] = (logical, engine_events, cancelled)
+
+    def _entry(membership: bool) -> Dict[str, Any]:
+        wall = best[membership]
+        assert wall is not None
+        logical, engine_events, cancelled = counts[membership]
+        return {
+            "n_clients": n_clients,
+            "membership": membership,
+            "sim_seconds": sim_seconds,
+            "repetitions": repetitions,
+            "wall_s": wall,
+            "wall_s_per_sim_s": wall / sim_seconds,
+            "logical_events": logical,
+            "events_per_sec": logical / wall,
+            "engine_events": engine_events,
+            "engine_cancelled": cancelled,
+            "engine_events_per_sec": engine_events / wall,
+        }
+
+    return _entry(False), _entry(True)
 
 
 def load_baseline(path: Path) -> Optional[Dict[int, Dict[str, Any]]]:
@@ -174,19 +250,50 @@ def run_bench(
                 f"({entry['events_per_sec']:,.0f} events/s){extra}"
             )
         results.append(entry)
+    # -- membership overhead guard ------------------------------------------
+    # Same scenario, detector on, at (preferably) 256 nodes: the extra
+    # probe/ack traffic is itself counted in logical events, so the
+    # events/sec ratio isolates per-event kernel cost -- membership must
+    # keep at least MEMBERSHIP_BUDGET_RATIO of the plain throughput.  The
+    # plain side is re-measured interleaved with the membership side (not
+    # taken from the sweep above) so machine-speed drift cancels.
+    guard_n = (
+        MEMBERSHIP_GUARD_SCALE
+        if MEMBERSHIP_GUARD_SCALE in scales
+        else max(scales)
+    )
+    plain, membership_entry = measure_guard_pair(
+        guard_n, sim_seconds=sim_seconds, repetitions=repetitions
+    )
+    ratio = membership_entry["events_per_sec"] / plain["events_per_sec"]
+    membership_entry["plain_events_per_sec"] = plain["events_per_sec"]
+    membership_entry["throughput_ratio_vs_plain"] = ratio
+    membership_entry["budget_ratio"] = MEMBERSHIP_BUDGET_RATIO
+    membership_entry["within_budget"] = ratio >= MEMBERSHIP_BUDGET_RATIO
+    if progress:
+        verdict = "PASS" if membership_entry["within_budget"] else "FAIL"
+        print(
+            f"[bench] {guard_n:5d} nodes + membership: "
+            f"{membership_entry['wall_s']:.3f}s wall "
+            f"({membership_entry['events_per_sec']:,.0f} events/s, "
+            f"{ratio:.3f}x of plain, budget >= "
+            f"{MEMBERSHIP_BUDGET_RATIO:g}) {verdict}"
+        )
     return {
         "benchmark": "kernel",
         "scenario": "penelope nominal EP:DC @ 80 W/socket, seed 2022",
         "metric_note": (
             "events_per_sec counts kernel-revision-invariant logical "
-            "scenario events (messages sent + decider iterations + RAPL "
-            "cap writes + power reads); engine_events is the kernel's own "
-            "processed-event count and is NOT comparable across revisions"
+            "scenario events (messages sent + decider iterations + "
+            "failure-detector probe rounds + RAPL cap writes + power "
+            "reads); engine_events is the kernel's own processed-event "
+            "count and is NOT comparable across revisions"
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "baseline": str(baseline_path) if baseline else None,
         "scales": results,
+        "membership": membership_entry,
     }
 
 

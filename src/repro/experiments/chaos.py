@@ -23,6 +23,7 @@ own streams): same spec, same storm, same trajectory.
 from __future__ import annotations
 
 import dataclasses
+import statistics
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -63,6 +64,16 @@ class ChaosSpec:
     flaps: int = 2
     #: Timed fabric loss bursts.
     bursts: int = 2
+    #: Multi-node partitions with a scheduled heal (the membership
+    #: detector's partition/heal convergence scenario).
+    partitions: int = 0
+    #: Run the SWIM-style failure detector and score it against the
+    #: schedule's ground truth (:func:`compute_detector_report`).
+    enable_membership: bool = False
+    #: Detector probe period when membership is enabled (chaos default is
+    #: tighter than the config default so short smoke runs still resolve
+    #: suspect -> confirm -> refute cycles).
+    membership_probe_period_s: float = 0.5
     #: Loss probability during a burst (the acceptance criterion's 2%).
     burst_loss: float = 0.02
     #: Steady-state fabric loss between bursts.
@@ -83,6 +94,10 @@ class ChaosSpec:
             raise ValueError("duration must be positive")
         if self.kills < 0 or self.flaps < 0 or self.bursts < 0:
             raise ValueError("fault counts must be non-negative")
+        if self.partitions < 0:
+            raise ValueError("fault counts must be non-negative")
+        if self.membership_probe_period_s <= 0:
+            raise ValueError("membership probe period must be positive")
         if self.kills >= self.n_clients:
             raise ValueError("cannot kill every client node")
         if not (0.0 <= self.burst_loss < 1.0):
@@ -106,6 +121,11 @@ def build_chaos_plan(spec: ChaosSpec) -> FaultPlan:
       the adversarial case for peer suspicion.
     * **Loss bursts** raise the fabric loss rate to ``burst_loss`` for
       5-15% of the run.
+    * **Partitions** cut off a random minority group mid-run and heal it
+      15-25% of the run later -- the membership detector's
+      convergence-after-heal scenario.  Drawn *last* so schedules of
+      specs without partitions replay identically to before the knob
+      existed.
 
     The schedule RNG is a dedicated registry keyed only by the seed;
     the simulation's own registry (same seed, different stream names)
@@ -131,6 +151,14 @@ def build_chaos_plan(spec: ChaosSpec) -> FaultPlan:
         at = float(rng.uniform(0.10, 0.80) * horizon)
         duration_s = float(rng.uniform(0.05, 0.15) * horizon)
         plan.loss_burst(spec.burst_loss, at, duration_s)
+    for _ in range(spec.partitions):
+        size = int(rng.integers(1, max(2, spec.n_clients // 4 + 1)))
+        isolated = sorted(
+            int(node) for node in rng.choice(spec.n_clients, size=size, replace=False)
+        )
+        at = float(rng.uniform(0.20, 0.55) * horizon)
+        heal_after_s = float(rng.uniform(0.15, 0.25) * horizon)
+        plan.partition(isolated, at, heal_after_s)
     return plan
 
 
@@ -203,6 +231,109 @@ class BudgetAuditor:
             self.probe()
 
 
+def compute_detector_report(
+    spec: ChaosSpec, plan: FaultPlan, manager: PenelopeManager
+) -> Dict[str, Any]:
+    """Score the failure detector against the schedule's ground truth.
+
+    * **Detection latency**: kill time to the first ``suspect``/``dead``
+      transition about the victim anywhere in the cluster, per
+      :meth:`FaultPlan.dead_intervals`; reported in seconds and probe
+      periods (acceptance: median <= 3 periods).
+    * **False positives**: suspicions/confirms whose subject was not in a
+      dead interval at transition time.  Partitioned-but-alive nodes
+      count here too -- expected under partitions, required zero in a
+      fault-free sweep.  An ``unrefuted`` false confirm is one a live
+      observer still believes at the horizon about a live node.
+    * **Convergence**: every live observer marks every live peer alive at
+      the horizon; after the schedule's last partition heal, the time of
+      the last corrective transition bounds the re-convergence delay.
+    """
+    assert manager.cluster is not None
+    transitions = manager.membership_transitions()
+    horizon = spec.duration_s
+    intervals = plan.dead_intervals(horizon)
+
+    def _dead_at(node: int, time: float) -> bool:
+        return any(
+            node == victim and start <= time < end
+            for victim, start, end in intervals
+        )
+
+    latencies: List[float] = []
+    missed = 0
+    for victim, start, end in intervals:
+        detected_at = min(
+            (
+                t.time
+                for t in transitions
+                if t.subject == victim and t.status != "alive" and start <= t.time
+            ),
+            default=None,
+        )
+        if detected_at is None:
+            missed += 1
+        else:
+            latencies.append(detected_at - start)
+    false_suspects = sum(
+        1
+        for t in transitions
+        if t.status == "suspect" and not _dead_at(t.subject, t.time)
+    )
+    false_confirms = sum(
+        1
+        for t in transitions
+        if t.status == "dead" and not _dead_at(t.subject, t.time)
+    )
+
+    alive_ids = [
+        node_id
+        for node_id in manager.client_ids
+        if manager.cluster.node(node_id).alive
+    ]
+    unrefuted = 0
+    converged = True
+    for observer in alive_ids:
+        view = manager.detectors[observer].view
+        for subject in alive_ids:
+            if subject == observer:
+                continue
+            if view.status_of(subject) != "alive":
+                converged = False
+                if view.status_of(subject) == "dead":
+                    unrefuted += 1
+    heals = plan.heal_times(horizon)
+    last_heal = heals[-1] if heals else None
+    convergence_after_heal_s: Optional[float] = None
+    if last_heal is not None and converged:
+        corrective = [t.time for t in transitions if t.time >= last_heal]
+        convergence_after_heal_s = (
+            (max(corrective) - last_heal) if corrective else 0.0
+        )
+    period = spec.membership_probe_period_s
+    median_latency = statistics.median(latencies) if latencies else None
+    return {
+        "probe_period_s": period,
+        "n_transitions": len(transitions),
+        "detections": len(latencies),
+        "missed_detections": missed,
+        "detection_latencies_s": latencies,
+        "median_detection_latency_s": median_latency,
+        "median_detection_latency_periods": (
+            median_latency / period if median_latency is not None else None
+        ),
+        "false_suspects": false_suspects,
+        "false_confirms": false_confirms,
+        "unrefuted_false_confirms": unrefuted,
+        "view_converged": converged,
+        "last_heal_s": last_heal,
+        "convergence_after_heal_s": convergence_after_heal_s,
+        "refutations": sum(
+            detector.view.refutations for detector in manager.detectors.values()
+        ),
+    }
+
+
 @dataclass
 class ChaosResult:
     """Outcome of one chaos run (all invariants held, or it raised)."""
@@ -215,6 +346,8 @@ class ChaosResult:
     final: ConservationLedger
     recorder: MetricsRecorder
     network: NetworkStats
+    #: Failure-detector scorecard (only when membership was enabled).
+    detector: Optional[Dict[str, Any]] = None
 
 
 def run_chaos_single(spec: ChaosSpec) -> ChaosResult:
@@ -225,6 +358,8 @@ def run_chaos_single(spec: ChaosSpec) -> ChaosResult:
         response_timeout_s=spec.response_timeout_s,
         request_retries=spec.request_retries,
         grant_ack_retries=spec.grant_ack_retries,
+        enable_membership=spec.enable_membership,
+        membership_probe_period_s=spec.membership_probe_period_s,
     )
     manager = PenelopeManager(
         config=config, recorder=MetricsRecorder(record_caps=False)
@@ -256,6 +391,11 @@ def run_chaos_single(spec: ChaosSpec) -> ChaosResult:
     engine.run(until=spec.duration_s)
     # One last probe at the horizon: the interval grid need not land on it.
     final = auditor.probe()
+    detector_report = (
+        compute_detector_report(spec, plan, manager)
+        if spec.enable_membership
+        else None
+    )
     auditor.stop()
     manager.stop()
     return ChaosResult(
@@ -266,6 +406,7 @@ def run_chaos_single(spec: ChaosSpec) -> ChaosResult:
         final=final,
         recorder=manager.recorder,
         network=cluster.network.stats,
+        detector=detector_report,
     )
 
 
@@ -301,6 +442,7 @@ def chaos_result_to_dict(result: ChaosResult) -> Dict[str, Any]:
         "final": ledger_to_dict(result.final),
         "recorder": serialize.recorder_to_dict(result.recorder),
         "network": serialize.network_stats_to_dict(result.network),
+        "detector": result.detector,
     }
 
 
@@ -313,6 +455,7 @@ def chaos_result_from_dict(data: Dict[str, Any]) -> ChaosResult:
         final=ledger_from_dict(data["final"]),
         recorder=serialize.recorder_from_dict(data["recorder"]),
         network=serialize.network_stats_from_dict(data["network"]),
+        detector=data.get("detector"),
     )
 
 
@@ -382,4 +525,34 @@ def format_chaos(results: Sequence[ChaosResult]) -> str:
         f"(worst residual {worst:.3e} W <= "
         f"{ConservationLedger.TOLERANCE_W:g} W tolerance)"
     )
+    detector_rows = [r for r in results if r.detector is not None]
+    if detector_rows:
+        lines.append("")
+        lines.append(
+            "Failure detector (SWIM): detection latency vs schedule ground "
+            "truth, view convergence"
+        )
+        lines.append(
+            f"{'seed':>6} {'detect':>7} {'miss':>5} {'med lat s':>10} "
+            f"{'periods':>8} {'fp-susp':>8} {'fp-conf':>8} {'unref':>6} "
+            f"{'conv':>5} {'heal+s':>8} {'refutes':>8}"
+        )
+        for result in detector_rows:
+            report = result.detector
+            assert report is not None
+            med = report["median_detection_latency_s"]
+            med_p = report["median_detection_latency_periods"]
+            heal = report["convergence_after_heal_s"]
+            med_cell = f"{med:>10.3f}" if med is not None else f"{'-':>10}"
+            med_p_cell = f"{med_p:>8.2f}" if med_p is not None else f"{'-':>8}"
+            heal_cell = f"{heal:>8.3f}" if heal is not None else f"{'-':>8}"
+            lines.append(
+                f"{result.spec.seed:>6} {report['detections']:>7} "
+                f"{report['missed_detections']:>5} {med_cell} {med_p_cell} "
+                f"{report['false_suspects']:>8} "
+                f"{report['false_confirms']:>8} "
+                f"{report['unrefuted_false_confirms']:>6} "
+                f"{'yes' if report['view_converged'] else 'NO':>5} "
+                f"{heal_cell} {report['refutations']:>8}"
+            )
     return "\n".join(lines)

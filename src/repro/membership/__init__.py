@@ -1,0 +1,36 @@
+"""SWIM-style gossip membership and failure detection.
+
+A deterministic reproduction of the SWIM protocol family (periodic
+randomized probing, indirect probe-requests, suspect/confirm with
+incarnation-numbered refutation, epidemic dissemination) adapted to the
+simulator's determinism discipline.  See ``docs/ARCHITECTURE.md`` for
+the state machine and the integration with discovery and escrow.
+"""
+
+from repro.membership.detector import FailureDetector
+from repro.membership.messages import (
+    MembershipAck,
+    MembershipGossip,
+    MembershipPing,
+    MembershipPingReq,
+)
+from repro.membership.view import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    MemberView,
+    MembershipTransition,
+)
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "FailureDetector",
+    "MemberView",
+    "MembershipAck",
+    "MembershipGossip",
+    "MembershipPing",
+    "MembershipPingReq",
+    "MembershipTransition",
+    "SUSPECT",
+]

@@ -1,0 +1,66 @@
+"""Wire messages of the SWIM-style failure detector.
+
+Four message kinds, all frozen value objects like the rest of the
+fabric's traffic (lint R4):
+
+* :class:`MembershipPing` -- the periodic direct probe (and, when sent
+  by a relay answering a :class:`MembershipPingReq`, the indirect one).
+* :class:`MembershipPingReq` -- "please ping ``target`` for me": sent to
+  k relays after a direct probe times out, the SWIM trick that tells a
+  crashed peer apart from one lossy link.
+* :class:`MembershipAck` -- the probe answer, carrying the subject's
+  identity and current incarnation; relays forward it to the original
+  prober.
+* :class:`MembershipGossip` -- a dedicated dissemination vehicle for
+  idle nodes: no protocol content of its own, just the piggyback payload
+  every message already carries (``Message.gossip``).
+
+Every one of them piggybacks pending membership updates like any other
+message, so the protocol's own chatter doubles as dissemination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.messages import Message
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipPing(Message):
+    """Direct liveness probe; the receiver answers with an ack."""
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipPingReq(Message):
+    """Ask the receiver to probe ``target`` on the sender's behalf."""
+
+    target: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipAck(Message):
+    """Probe answer: ``subject`` is alive at ``incarnation``.
+
+    ``reply_to`` echoes the ping's ``msg_id`` so a relay can match the
+    ack to its pending probe-request and forward it (the forwarded copy
+    carries ``reply_to=None``; the prober correlates by ``subject``).
+    """
+
+    subject: int = -1
+    incarnation: int = 0
+    reply_to: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipGossip(Message):
+    """Pure dissemination: meaning lives entirely in ``gossip``."""
+
+
+__all__ = [
+    "MembershipAck",
+    "MembershipGossip",
+    "MembershipPing",
+    "MembershipPingReq",
+]

@@ -22,10 +22,12 @@ is expressed with these four message types:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import NamedTuple, Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, NamedTuple, Optional, Tuple, Type, TypeVar
 
 _MESSAGE_COUNTER = itertools.count(1)
+
+_MessageT = TypeVar("_MessageT", bound="Message")
 
 
 def next_message_id() -> int:
@@ -52,6 +54,34 @@ class Addr(NamedTuple):
 PORT_DECIDER = "decider"
 PORT_POOL = "pool"
 PORT_SERVER = "server"
+PORT_MEMBERSHIP = "membership"
+
+#: Membership status values carried by :class:`MembershipUpdate` (defined
+#: here, next to the payload type, so the pool/decider integrations never
+#: need a runtime import of :mod:`repro.membership`).
+MEMBER_ALIVE = "alive"
+MEMBER_SUSPECT = "suspect"
+MEMBER_DEAD = "dead"
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipUpdate:
+    """One gossiped membership fact: ``node`` is ``status`` at ``incarnation``.
+
+    The payload unit of the SWIM-style failure detector
+    (:mod:`repro.membership`).  Updates ride as piggyback on any message
+    (the ``gossip`` field of :class:`Message`) and inside dedicated
+    gossip messages; receivers merge them into their local view under
+    the incarnation-precedence rules documented in
+    ``docs/ARCHITECTURE.md``.  ``status`` is one of ``"alive"``,
+    ``"suspect"`` or ``"dead"``; ``incarnation`` is the subject's
+    self-owned epoch counter (only the subject itself ever bumps it, by
+    refuting a suspicion or rejoining).
+    """
+
+    node: int
+    status: str
+    incarnation: int
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,19 +100,52 @@ class Message:
         Simulated time at which the message entered the network.  The
         sender's instance keeps the ``nan`` default;
         :meth:`repro.net.network.Network.send` delivers a stamped copy
-        (``dataclasses.replace``, preserving ``msg_id``).
+        (:meth:`stamped`, preserving ``msg_id``).
     msg_id:
         Unique id, used to correlate requests and replies.
+    gossip:
+        Optional piggybacked membership updates (empty unless the
+        sender's failure detector has pending dissemination).  Senders
+        stamp the payload onto an already-built message with
+        ``dataclasses.replace`` -- same ``msg_id``, so request/reply
+        correlation is unaffected and lint R4's immutability contract
+        holds.
     """
 
     src: Addr
     dst: Addr
     msg_id: int = field(default_factory=next_message_id)
     send_time: float = float("nan")
+    gossip: Tuple[MembershipUpdate, ...] = ()
 
     @property
     def kind(self) -> str:
         return type(self).__name__
+
+    def stamped(self: _MessageT, send_time: float) -> _MessageT:
+        """The in-flight twin: an identical copy with ``send_time`` set.
+
+        Semantically ``dataclasses.replace(self, send_time=...)`` (same
+        ``msg_id``, all other fields shared), minus the per-call field
+        introspection and re-validation -- ``Network.send`` stamps every
+        message exactly once on the kernel's hottest path.  The copy is
+        fully built before anyone holds a reference, so R4's sharing
+        invariant (no observable post-construction mutation) holds.
+        """
+        cls = type(self)
+        names = _STAMP_FIELDS.get(cls)
+        if names is None:
+            names = tuple(f.name for f in fields(cls))
+            _STAMP_FIELDS[cls] = names
+        twin = cls.__new__(cls)
+        for name in names:
+            object.__setattr__(twin, name, getattr(self, name))
+        object.__setattr__(twin, "send_time", send_time)
+        return twin
+
+
+#: Per-class field-name cache backing :meth:`Message.stamped`.
+_STAMP_FIELDS: Dict[Type["Message"], Tuple[str, ...]] = {}
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,8 +227,13 @@ __all__ = [
     "Addr",
     "ExcessReport",
     "GrantAck",
+    "MEMBER_ALIVE",
+    "MEMBER_DEAD",
+    "MEMBER_SUSPECT",
+    "MembershipUpdate",
     "Message",
     "PORT_DECIDER",
+    "PORT_MEMBERSHIP",
     "PORT_POOL",
     "PORT_SERVER",
     "PowerGrant",

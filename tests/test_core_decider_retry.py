@@ -180,6 +180,38 @@ class TestSuspicion:
             rig.decider._choose_peer()
         assert rig.counters.get("decider.suspicion_redraws", 0) == 0
 
+    def test_any_message_from_suspect_clears_immediately(self):
+        # Even a *stale* grant (no matching outstanding request) is
+        # direct liveness evidence: the suspicion entry goes right away,
+        # not at the next expiry sweep.
+        rig = Rig(suspicion_ttl_s=30.0)
+        rig.decider._suspect(1)
+        assert 1 in rig.decider._suspicion
+        rig.decider._absorb_grant(
+            PowerGrant(
+                src=Addr(1, PORT_POOL),
+                dst=rig.decider.addr,
+                delta=0.0,
+                reply_to=999,
+            )
+        )
+        assert 1 not in rig.decider._suspicion
+
+    def test_expired_entries_are_purged_every_tick(self):
+        # No discovery draws at all (node never hungry): the per-tick
+        # sweep alone must clear expired suspicions.
+        rig = Rig(n_peers=2, suspicion_ttl_s=1.0)
+        rig.decider._suspect(1)
+        rig.decider._suspect(2)
+        rig.engine.run(until=3.01)
+        assert rig.decider._suspicion == {}
+
+    def test_unexpired_entries_survive_the_tick_sweep(self):
+        rig = Rig(n_peers=2, suspicion_ttl_s=60.0)
+        rig.decider._suspect(1)
+        rig.engine.run(until=3.01)
+        assert 1 in rig.decider._suspicion
+
 
 class TestEmptyGrants:
     def test_empty_grant_counted_as_empty_not_unexpected(self):

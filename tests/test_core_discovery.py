@@ -15,23 +15,44 @@ from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 
 
-def make_decider(discovery: str, peers=(1, 2, 3)):
+def make_decider(discovery: str, peers=(1, 2, 3), membership=False):
     engine = Engine()
     rngs = RngRegistry(seed=5)
     network = Network(
         engine, Topology(5, latency=LatencyModel(sigma=0.0)), rngs.stream("net")
     )
-    config = PenelopeConfig(stagger_start=False, discovery=discovery)
+    config = PenelopeConfig(
+        stagger_start=False, discovery=discovery, enable_membership=membership
+    )
     rapl = SimulatedRapl(
         engine, SKYLAKE_6126_NODE, rngs.stream("rapl"), initial_cap_w=160.0,
         enforcement_delay_s=(0.0, 0.0), reading_noise=0.0,
     )
-    pool = PowerPool(engine, network, 0, config, rngs.stream("pool"))
+    detector = None
+    if membership:
+        from repro.membership import FailureDetector
+
+        detector = FailureDetector(
+            engine, network, 0, [0, *peers], config, rngs.stream("membership.0")
+        )
+    pool = PowerPool(
+        engine, network, 0, config, rngs.stream("pool"), membership=detector
+    )
     decider = LocalDecider(
         engine, network, 0, rapl, pool, peers=list(peers),
         initial_cap_w=160.0, config=config, rng=rngs.stream("decider"),
+        membership=detector,
     )
     return decider
+
+
+def mark(decider, peer, status):
+    """Force ``peer`` to ``status`` in the decider's membership view."""
+    from repro.net.messages import MembershipUpdate
+
+    view = decider._membership.view
+    incarnation = view.incarnation_of(peer)
+    view.apply(MembershipUpdate(peer, status, incarnation), now=0.0)
 
 
 class TestConfigValidation:
@@ -91,6 +112,75 @@ class TestSticky:
         decider = make_decider("random")
         decider._note_grant_outcome(2, granted_w=5.0)
         assert decider._sticky_peer is None
+
+
+class TestSuspicionStickyInterplay:
+    def test_suspected_sticky_peer_is_dropped(self):
+        decider = make_decider("sticky")
+        decider._note_grant_outcome(2, granted_w=5.0)
+        decider._suspect(2)
+        assert decider._sticky_peer is None
+        # Discovery falls back to (suspicion-biased) random, not pinned.
+        picks = {decider._choose_peer() for _ in range(100)}
+        assert picks == {1, 2, 3}
+
+    def test_expired_suspicion_restores_the_candidate(self):
+        decider = make_decider("sticky")
+        decider._suspect(2)
+        decider.engine.run(
+            until=decider.config.suspicion_ttl_s + 1.0
+        )
+        decider._purge_suspicion()
+        assert 2 not in decider._suspicion
+        # ...and the peer can earn stickiness back by granting.
+        decider._note_grant_outcome(2, granted_w=5.0)
+        assert decider._choose_peer() == 2
+
+
+class TestMembershipDiscovery:
+    def test_candidates_come_from_the_live_view(self):
+        from repro.net.messages import MEMBER_DEAD
+
+        decider = make_decider("random", membership=True)
+        mark(decider, 2, MEMBER_DEAD)
+        picks = {decider._choose_peer() for _ in range(100)}
+        assert picks == {1, 3}
+
+    def test_suspects_are_excluded_without_redraws(self):
+        from repro.net.messages import MEMBER_SUSPECT
+
+        decider = make_decider("random", membership=True)
+        mark(decider, 1, MEMBER_SUSPECT)
+        picks = {decider._choose_peer() for _ in range(100)}
+        assert picks == {2, 3}
+        assert decider.recorder.counters.get("decider.suspicion_redraws", 0) == 0
+
+    def test_empty_view_degrades_to_local_only(self):
+        from repro.net.messages import MEMBER_DEAD
+
+        decider = make_decider("random", membership=True)
+        for peer in (1, 2, 3):
+            mark(decider, peer, MEMBER_DEAD)
+        assert decider._choose_peer() is None
+        assert decider.recorder.counters.get("decider.no_live_peers", 0) == 1
+
+    def test_sticky_holds_only_while_believed_alive(self):
+        from repro.net.messages import MEMBER_SUSPECT
+
+        decider = make_decider("sticky", membership=True)
+        decider._note_grant_outcome(2, granted_w=5.0)
+        assert decider._choose_peer() == 2
+        mark(decider, 2, MEMBER_SUSPECT)
+        picks = {decider._choose_peer() for _ in range(100)}
+        assert 2 not in picks
+
+    def test_ring_walks_the_live_list(self):
+        from repro.net.messages import MEMBER_DEAD
+
+        decider = make_decider("ring", membership=True)
+        mark(decider, 2, MEMBER_DEAD)
+        picks = [decider._choose_peer() for _ in range(4)]
+        assert picks == [1, 3, 1, 3]
 
 
 class TestEndToEndStrategies:

@@ -188,6 +188,103 @@ class TestAckClassification:
             )
 
 
+def make_membership_pool(engine, net, rngs, **config_kwargs):
+    """Pool on node 1 wired to a failure detector (not started: tests
+    steer the view directly)."""
+    from repro.membership import FailureDetector
+
+    config_kwargs.setdefault("enable_membership", True)
+    # Keep the suspect->confirm timer out of the way unless a test
+    # confirms explicitly: suspicion must survive the escrow deadline.
+    config_kwargs.setdefault("membership_suspect_timeout_s", 1000.0)
+    config = PenelopeConfig(**config_kwargs)
+    detector = FailureDetector(
+        engine, net, 1, [0, 1, 2, 3], config, rngs.stream("membership.1")
+    )
+    pool = PowerPool(
+        engine, net, 1, config, rngs.stream("pool"), membership=detector
+    )
+    pool.start()
+    return pool, detector
+
+
+def mark(detector, peer, status):
+    from repro.net.messages import MembershipUpdate
+
+    view = detector.view
+    view.apply(MembershipUpdate(peer, status, view.incarnation_of(peer)), now=0.0)
+
+
+class TestMembershipEscrow:
+    def test_suspected_requester_defers_the_refund(self, engine, net, rngs):
+        from repro.net.messages import MEMBER_SUSPECT
+
+        pool, detector = make_membership_pool(engine, net, rngs)
+        pool.deposit(200.0)
+        request_grant(engine, net, pool)
+        mark(detector, 0, MEMBER_SUSPECT)
+        engine.run(until=engine.now + DEADLINE_S + 0.5)
+        # Verdict pending: watts stay in escrow, nothing refunded yet.
+        assert pool.escrow_w == pytest.approx(20.0)
+        assert pool.balance_w == pytest.approx(180.0)
+        assert pool.recorder.counters["pool.escrow_deferrals"] >= 1
+        assert "pool.escrow_refunds" not in pool.recorder.counters
+
+    def test_confirm_writes_off_immediately(self, engine, net, rngs):
+        from repro.net.messages import MEMBER_DEAD, MEMBER_SUSPECT
+
+        pool, detector = make_membership_pool(engine, net, rngs)
+        pool.deposit(200.0)
+        request_grant(engine, net, pool)
+        mark(detector, 0, MEMBER_SUSPECT)
+        engine.run(until=engine.now + DEADLINE_S + 0.5)  # deferred once
+        mark(detector, 0, MEMBER_DEAD)  # listener fires synchronously
+        assert pool.escrow_w == 0.0
+        assert pool.balance_w == pytest.approx(200.0)
+        assert pool.recorder.counters["pool.escrow_confirm_writeoffs"] == 1
+        assert pool.recorder.counters["pool.escrow_refunds"] == 1
+
+    def test_refuted_suspicion_refunds_at_next_expiry(self, engine, net, rngs):
+        from repro.net.messages import MEMBER_SUSPECT
+
+        pool, detector = make_membership_pool(engine, net, rngs)
+        pool.deposit(200.0)
+        request_grant(engine, net, pool)
+        mark(detector, 0, MEMBER_SUSPECT)
+        engine.run(until=engine.now + DEADLINE_S + 0.5)  # deferred
+        detector.view.observe_contact(0, engine.now)  # refuted/revived
+        engine.run(until=engine.now + DEADLINE_S + 0.5)
+        assert pool.escrow_w == 0.0
+        assert pool.balance_w == pytest.approx(200.0)
+        assert pool.recorder.counters["pool.escrow_refunds"] == 1
+
+    def test_late_ack_after_writeoff_reconciles_via_reclaim(
+        self, engine, net, rngs
+    ):
+        from repro.net.messages import MEMBER_DEAD
+
+        pool, detector = make_membership_pool(engine, net, rngs)
+        pool.deposit(200.0)
+        grant = request_grant(engine, net, pool)
+        mark(detector, 0, MEMBER_DEAD)  # confirm while escrow open
+        assert pool.balance_w == pytest.approx(200.0)
+        send_ack(engine, net, pool, grant)  # the grant *was* applied
+        assert pool.balance_w == pytest.approx(180.0)
+        assert pool.granted_out_w == pytest.approx(20.0)
+        assert pool.recorder.counters["pool.escrow_reclaims"] == 1
+
+    def test_alive_requester_unaffected_by_membership_wiring(
+        self, engine, net, rngs
+    ):
+        pool, _ = make_membership_pool(engine, net, rngs)
+        pool.deposit(200.0)
+        request_grant(engine, net, pool)
+        engine.run(until=engine.now + DEADLINE_S + 0.5)
+        assert pool.balance_w == pytest.approx(200.0)
+        assert pool.recorder.counters["pool.escrow_refunds"] == 1
+        assert "pool.escrow_deferrals" not in pool.recorder.counters
+
+
 class TestAblationAndCrash:
     def test_escrow_disabled_grants_are_fire_and_forget(self, engine, net, rngs):
         pool = make_pool(engine, net, rngs, enable_escrow=False)

@@ -38,10 +38,28 @@ SMOKE = ChaosSpec(
     burst_loss=0.05,
 )
 
+MEMBERSHIP_SMOKE = ChaosSpec(
+    n_clients=6,
+    seed=7,
+    duration_s=20.0,
+    workload_scale=0.1,
+    kills=1,
+    flaps=0,
+    bursts=0,
+    partitions=1,
+    enable_membership=True,
+    membership_probe_period_s=0.5,
+)
+
 
 @pytest.fixture(scope="module")
 def smoke_result():
     return run_chaos_single(SMOKE)
+
+
+@pytest.fixture(scope="module")
+def membership_result():
+    return run_chaos_single(MEMBERSHIP_SMOKE)
 
 
 class TestChaosSpec:
@@ -161,6 +179,83 @@ class TestChaosCodecs:
         assert decoded.recorder.counters == smoke_result.recorder.counters
         assert decoded.recorder.samples == smoke_result.recorder.samples
         assert decoded.network == smoke_result.network
+
+
+class TestDetectorMetrics:
+    def test_plain_runs_carry_no_detector_report(self, smoke_result):
+        assert smoke_result.detector is None
+
+    def test_kill_is_detected_within_three_periods(self, membership_result):
+        report = membership_result.detector
+        assert report is not None
+        assert report["missed_detections"] == 0
+        assert report["detections"] == 1
+        assert (
+            report["median_detection_latency_periods"] <= 3.0
+        ), "ISSUE 5 acceptance: median detection within 3 probe periods"
+
+    def test_no_unrefuted_false_confirms(self, membership_result):
+        assert membership_result.detector["unrefuted_false_confirms"] == 0
+
+    def test_views_converge_after_heal(self, membership_result):
+        report = membership_result.detector
+        assert report["view_converged"] is True
+        assert report["last_heal_s"] is not None
+        assert report["convergence_after_heal_s"] is not None
+
+    def test_conservation_holds_with_membership_on(self, membership_result):
+        assert (
+            membership_result.max_abs_residual_w
+            <= ConservationLedger.TOLERANCE_W
+        )
+        membership_result.final.check()
+
+    def test_fault_free_membership_run_has_zero_false_positives(self):
+        result = run_chaos_single(
+            ChaosSpec(
+                n_clients=4,
+                seed=5,
+                duration_s=15.0,
+                workload_scale=0.1,
+                kills=0,
+                flaps=0,
+                bursts=0,
+                enable_membership=True,
+                membership_probe_period_s=0.5,
+            )
+        )
+        report = result.detector
+        assert report["false_suspects"] == 0
+        assert report["false_confirms"] == 0
+        assert report["view_converged"] is True
+
+    def test_membership_off_schedules_are_unchanged(self):
+        # The partition draws were appended *after* the legacy draws so
+        # pre-membership schedules replay identically seed-for-seed.
+        with_partitions = build_chaos_plan(
+            ChaosSpec(seed=9, kills=2, flaps=1, bursts=1, partitions=1)
+        )
+        without = build_chaos_plan(
+            ChaosSpec(seed=9, kills=2, flaps=1, bursts=1, partitions=0)
+        )
+        assert with_partitions.node_kills == without.node_kills
+        assert with_partitions.restarts == without.restarts
+        assert with_partitions.flaps == without.flaps
+        assert with_partitions.loss_bursts == without.loss_bursts
+        assert len(with_partitions.partitions) == 1
+        assert without.partitions == []
+
+    def test_detector_report_round_trips_through_json(self, membership_result):
+        decoded = chaos_result_from_dict(
+            json.loads(json.dumps(chaos_result_to_dict(membership_result)))
+        )
+        assert decoded.detector == membership_result.detector
+        assert decoded.final == membership_result.final
+
+    def test_format_includes_the_detector_table(self, membership_result):
+        text = format_chaos([membership_result])
+        assert "Failure detector (SWIM)" in text
+        assert "detect" in text
 
 
 class TestChaosSweep:

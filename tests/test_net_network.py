@@ -162,6 +162,61 @@ class TestAttachment:
         assert net.inbox_of(Addr(2, PORT_POOL)) is None
 
 
+class TestDatagramHandlers:
+    """Synchronous handler endpoints (``attach_handler``)."""
+
+    def test_handler_invoked_at_arrival_time(self, engine, net):
+        got = []
+        net.attach_handler(Addr(1, PORT_POOL), got.append)
+        net.send(request(0, 1))
+        assert got == []  # not delivered synchronously at send time
+        engine.run()
+        assert len(got) == 1
+        assert net.stats.delivered == 1
+
+    def test_handler_conflicts_with_inbox_and_itself(self, engine, net):
+        net.attach_handler(Addr(1, PORT_POOL), lambda m: None)
+        with pytest.raises(ValueError):
+            net.attach_handler(Addr(1, PORT_POOL), lambda m: None)
+        with pytest.raises(ValueError):
+            net.attach(Addr(1, PORT_POOL), Store(engine))
+        # ...and the other way round.
+        net.attach(Addr(2, PORT_POOL), Store(engine))
+        with pytest.raises(ValueError):
+            net.attach_handler(Addr(2, PORT_POOL), lambda m: None)
+
+    def test_handler_outside_topology_rejected(self, engine, net):
+        with pytest.raises(ValueError):
+            net.attach_handler(Addr(99, PORT_POOL), lambda m: None)
+
+    def test_detach_stops_handler_delivery(self, engine, net):
+        got = []
+        net.attach_handler(Addr(1, PORT_POOL), got.append)
+        net.detach(Addr(1, PORT_POOL))
+        net.send(request(0, 1))
+        engine.run()
+        assert got == []
+        assert net.stats.dropped_unattached == 1
+
+    def test_dead_destination_still_drops(self, engine, net):
+        got = []
+        net.attach_handler(Addr(1, PORT_POOL), got.append)
+        net.send(request(0, 1))
+        net.mark_dead(1)  # dies while the message is in flight
+        engine.run()
+        assert got == []
+        assert net.stats.dropped_dead == 1
+
+    def test_partition_still_drops(self, engine, net):
+        got = []
+        net.attach_handler(Addr(1, PORT_POOL), got.append)
+        net.topology.partition([1])
+        net.send(request(0, 1))
+        engine.run()
+        assert got == []
+        assert net.stats.dropped_partition == 1
+
+
 class TestDeadDropSplit:
     """Dead-node drops are attributed to send time vs arrival time."""
 

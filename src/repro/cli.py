@@ -240,7 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         nargs="+",
         default=list(_bench.DEFAULT_SCALES),
-        help="cluster sizes to measure (default: 64 256 1024)",
+        help="cluster sizes to measure (default: 64 256 1024 4096)",
+    )
+    from repro.sim.schedulers import scheduler_names as _scheduler_names
+
+    bench.add_argument(
+        "--scheduler",
+        dest="schedulers",
+        choices=_scheduler_names(),
+        nargs="+",
+        default=list(_scheduler_names()),
+        help="event-queue scheduler(s) to measure (default: all)",
     )
     bench.add_argument(
         "--sim-seconds",
@@ -411,13 +421,26 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             repetitions=repetitions,
             baseline_path=Path(args.baseline),
             output=Path(args.output),
+            schedulers=args.schedulers,
         )
+        failed = False
+        guard = payload["scheduler_guard"]
+        if guard is not None and not guard["within_budget"]:
+            print(
+                "[bench] FAIL: calendar scheduler fell below "
+                f"{bench_mod.SCHEDULER_BUDGET_RATIO:g}x heap throughput "
+                f"at {guard['n_clients']} nodes",
+                file=sys.stderr,
+            )
+            failed = True
         if not payload["membership"]["within_budget"]:
             print(
                 "[bench] FAIL: membership overhead exceeds the "
                 f"{1 - bench_mod.MEMBERSHIP_BUDGET_RATIO:.0%} throughput budget",
                 file=sys.stderr,
             )
+            failed = True
+        if failed:
             return 1
     elif args.command == "allocation":
         from repro.experiments.allocation import (

@@ -28,9 +28,19 @@ wall-clock ratio on the fixed scenario).  The engine-internal counters
 (``engine_events``, ``engine_events_per_sec``, ``engine_cancelled``)
 are reported alongside for context.
 
+Schedulers
+----------
+Every scale is measured once per event-queue scheduler (heap and
+calendar by default), interleaved within each repetition so
+machine-speed drift cancels between the implementations.  Calendar rows
+carry ``throughput_ratio_vs_heap``; the scheduler guard requires the
+calendar queue to match heap throughput (ratio >= 1.0) at the largest
+paper-range scale -- the O(log n) vs O(1) crossover this benchmark
+exists to demonstrate.
+
 A baseline file (``benchmarks/results/BENCH_kernel_baseline.json``,
 generated with the same procedure at the pre-optimization revision)
-adds ``speedup_vs_baseline`` per scale when present.
+adds ``speedup_vs_baseline`` to heap rows when present.
 """
 
 from __future__ import annotations
@@ -40,20 +50,33 @@ import json
 import platform
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import PenelopeConfig
 from repro.experiments.harness import RunSpec, build_run
+from repro.sim.config import SimConfig
+from repro.sim.schedulers import default_scheduler_name, scheduler_names
 
-#: Cluster sizes of the default sweep (the paper's Fig. 6/8 range spans
-#: 44-1056 nodes; these bracket it in powers of four).
-DEFAULT_SCALES = (64, 256, 1024)
+#: Cluster sizes of the default sweep.  The paper's Fig. 6/8 range spans
+#: 44-1056 nodes; 64-1024 bracket it in powers of four and 4096 probes
+#: past the wall the calendar queue exists to break.
+DEFAULT_SCALES = (64, 256, 1024, 4096)
 DEFAULT_SIM_SECONDS = 60.0
-DEFAULT_REPETITIONS = 3
+#: Best-of-N wall time per row.  Five repetitions, not three: the
+#: scheduler guard compares two implementations whose 1024-node gap is
+#: a few percent, and the best-of estimator has to sit below the
+#: machine's noise floor (~2% on an otherwise idle host) for the
+#: comparison to be meaningful.
+DEFAULT_REPETITIONS = 5
 
 #: Where the pre-optimization reference measurements live.
 DEFAULT_BASELINE = Path("benchmarks/results/BENCH_kernel_baseline.json")
 DEFAULT_OUTPUT = Path("BENCH_kernel.json")
+
+#: The reference scheduler: rows for the others are expressed relative
+#: to it, and baseline speedups attach only to its rows (the baseline
+#: predates pluggable scheduling and is implicitly a heap measurement).
+REFERENCE_SCHEDULER = "heap"
 
 #: The SWIM failure detector may not cost the kernel more than 5% of its
 #: event throughput on the nominal scenario (ISSUE 5 overhead budget):
@@ -63,6 +86,14 @@ MEMBERSHIP_BUDGET_RATIO = 0.95
 #: Scale at which the membership overhead guard runs (falls back to the
 #: largest measured scale when 256 is not in the sweep).
 MEMBERSHIP_GUARD_SCALE = 256
+
+#: The calendar queue must at least match heap throughput at the guard
+#: scale; below 1.0 the O(1) structure is not paying for itself.
+SCHEDULER_BUDGET_RATIO = 1.0
+
+#: Scale at which the scheduler guard runs (falls back to the largest
+#: measured scale when 1024 is not in the sweep).
+SCHEDULER_GUARD_SCALE = 1024
 
 
 def bench_spec(n_clients: int, membership: bool = False) -> RunSpec:
@@ -98,8 +129,11 @@ def _logical_events(cluster: Any, manager: Any) -> int:
 
 
 def _measure_once(
-    n_clients: int, sim_seconds: float, membership: bool
-) -> "tuple[float, int, int, int]":
+    n_clients: int,
+    sim_seconds: float,
+    membership: bool,
+    scheduler: Optional[str] = None,
+) -> "Tuple[float, int, int, int]":
     """One timed run: ``(wall_s, logical, engine_events, engine_cancelled)``.
 
     Builds a fresh simulation universe (construction is excluded from the
@@ -108,7 +142,8 @@ def _measure_once(
     and can dwarf the kernel differences under test.
     """
     engine, cluster, manager = build_run(
-        bench_spec(n_clients, membership=membership)
+        bench_spec(n_clients, membership=membership),
+        sim=SimConfig(scheduler=scheduler),
     )
     manager.start()
     for node in cluster.compute_nodes():
@@ -128,11 +163,39 @@ def _measure_once(
     return wall, _logical_events(cluster, manager), engine.processed_events, cancelled
 
 
+def _scale_entry(
+    n_clients: int,
+    membership: bool,
+    sim_seconds: float,
+    repetitions: int,
+    scheduler: str,
+    wall: float,
+    counts: "Tuple[int, int, int]",
+) -> Dict[str, Any]:
+    """Assemble one measurement row from its best wall time and counts."""
+    logical, engine_events, engine_cancelled = counts
+    return {
+        "n_clients": n_clients,
+        "membership": membership,
+        "scheduler": scheduler,
+        "sim_seconds": sim_seconds,
+        "repetitions": repetitions,
+        "wall_s": wall,
+        "wall_s_per_sim_s": wall / sim_seconds,
+        "logical_events": logical,
+        "events_per_sec": logical / wall,
+        "engine_events": engine_events,
+        "engine_cancelled": engine_cancelled,
+        "engine_events_per_sec": engine_events / wall,
+    }
+
+
 def measure_scale(
     n_clients: int,
     sim_seconds: float = DEFAULT_SIM_SECONDS,
     repetitions: int = DEFAULT_REPETITIONS,
     membership: bool = False,
+    scheduler: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the nominal scenario for ``sim_seconds`` and time the kernel.
 
@@ -140,37 +203,74 @@ def measure_scale(
     scheduler noise; the event counts are identical across repetitions
     by determinism.
     """
+    name = scheduler if scheduler is not None else default_scheduler_name()
     best_wall: Optional[float] = None
-    engine_events = 0
-    engine_cancelled = 0
-    logical = 0
+    counts: "Tuple[int, int, int]" = (0, 0, 0)
     for _ in range(max(1, repetitions)):
         wall, logical, engine_events, engine_cancelled = _measure_once(
-            n_clients, sim_seconds, membership
+            n_clients, sim_seconds, membership, scheduler=name
         )
+        counts = (logical, engine_events, engine_cancelled)
         if best_wall is None or wall < best_wall:
             best_wall = wall
     assert best_wall is not None
-    return {
-        "n_clients": n_clients,
-        "membership": membership,
-        "sim_seconds": sim_seconds,
-        "repetitions": repetitions,
-        "wall_s": best_wall,
-        "wall_s_per_sim_s": best_wall / sim_seconds,
-        "logical_events": logical,
-        "events_per_sec": logical / best_wall,
-        "engine_events": engine_events,
-        "engine_cancelled": engine_cancelled,
-        "engine_events_per_sec": engine_events / best_wall,
-    }
+    return _scale_entry(
+        n_clients, membership, sim_seconds, repetitions, name, best_wall, counts
+    )
+
+
+def measure_scheduler_set(
+    n_clients: int,
+    sim_seconds: float = DEFAULT_SIM_SECONDS,
+    repetitions: int = DEFAULT_REPETITIONS,
+    schedulers: Sequence[str] = (REFERENCE_SCHEDULER,),
+    membership: bool = False,
+) -> Dict[str, Dict[str, Any]]:
+    """Measure one scale under each scheduler, interleaved.
+
+    Scheduler rows are compared against each other (the calendar guard),
+    so the same drift-cancellation treatment as the membership guard
+    applies: alternate the implementations within every repetition
+    instead of measuring them in separate blocks, then take best-of-N
+    per scheduler.  The within-repetition order also flips every
+    repetition: the second run of a pair lands on a warmed machine
+    (caches, branch predictors, ramped clocks) and measures 1-3% faster
+    for identical code, so a fixed order would systematically favor
+    whichever scheduler sorts last.
+    """
+    best: Dict[str, Optional[float]] = {name: None for name in schedulers}
+    counts: Dict[str, "Tuple[int, int, int]"] = {}
+    for repetition in range(max(1, repetitions)):
+        order = (
+            tuple(schedulers)
+            if repetition % 2 == 0
+            else tuple(reversed(schedulers))
+        )
+        for name in order:
+            wall, logical, engine_events, cancelled = _measure_once(
+                n_clients, sim_seconds, membership, scheduler=name
+            )
+            previous = best[name]
+            if previous is None or wall < previous:
+                best[name] = wall
+            counts[name] = (logical, engine_events, cancelled)
+    entries: Dict[str, Dict[str, Any]] = {}
+    for name in schedulers:
+        wall_best = best[name]
+        assert wall_best is not None
+        entries[name] = _scale_entry(
+            n_clients, membership, sim_seconds, repetitions, name,
+            wall_best, counts[name],
+        )
+    return entries
 
 
 def measure_guard_pair(
     n_clients: int,
     sim_seconds: float = DEFAULT_SIM_SECONDS,
     repetitions: int = DEFAULT_REPETITIONS,
-) -> "tuple[Dict[str, Any], Dict[str, Any]]":
+    scheduler: str = REFERENCE_SCHEDULER,
+) -> "Tuple[Dict[str, Any], Dict[str, Any]]":
     """Measure membership-off and membership-on back to back, interleaved.
 
     The overhead guard compares two short runs, so slow drift in machine
@@ -180,11 +280,11 @@ def measure_guard_pair(
     the same drift; best-of-N then suppresses the fast noise.
     """
     best: Dict[bool, Optional[float]] = {False: None, True: None}
-    counts: Dict[bool, "tuple[int, int, int]"] = {}
+    counts: Dict[bool, "Tuple[int, int, int]"] = {}
     for _ in range(max(1, repetitions)):
         for membership in (False, True):
             wall, logical, engine_events, cancelled = _measure_once(
-                n_clients, sim_seconds, membership
+                n_clients, sim_seconds, membership, scheduler=scheduler
             )
             previous = best[membership]
             if previous is None or wall < previous:
@@ -194,30 +294,29 @@ def measure_guard_pair(
     def _entry(membership: bool) -> Dict[str, Any]:
         wall = best[membership]
         assert wall is not None
-        logical, engine_events, cancelled = counts[membership]
-        return {
-            "n_clients": n_clients,
-            "membership": membership,
-            "sim_seconds": sim_seconds,
-            "repetitions": repetitions,
-            "wall_s": wall,
-            "wall_s_per_sim_s": wall / sim_seconds,
-            "logical_events": logical,
-            "events_per_sec": logical / wall,
-            "engine_events": engine_events,
-            "engine_cancelled": cancelled,
-            "engine_events_per_sec": engine_events / wall,
-        }
+        return _scale_entry(
+            n_clients, membership, sim_seconds, repetitions, scheduler,
+            wall, counts[membership],
+        )
 
     return _entry(False), _entry(True)
 
 
 def load_baseline(path: Path) -> Optional[Dict[int, Dict[str, Any]]]:
-    """Baseline measurements keyed by cluster size, or None if absent."""
+    """Baseline measurements keyed by cluster size, or None if absent.
+
+    Rows measured under a non-reference scheduler (present once the
+    baseline itself is regenerated from a multi-scheduler payload) are
+    skipped: cross-revision speedups are only meaningful heap-to-heap.
+    """
     if not path.is_file():
         return None
     data = json.loads(path.read_text())
-    return {entry["n_clients"]: entry for entry in data["scales"]}
+    return {
+        entry["n_clients"]: entry
+        for entry in data["scales"]
+        if entry.get("scheduler", REFERENCE_SCHEDULER) == REFERENCE_SCHEDULER
+    }
 
 
 def run_bench(
@@ -226,44 +325,108 @@ def run_bench(
     repetitions: int = DEFAULT_REPETITIONS,
     baseline_path: Path = DEFAULT_BASELINE,
     progress: bool = False,
+    schedulers: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
-    """Measure every scale and assemble the ``BENCH_kernel.json`` payload."""
+    """Measure every scale x scheduler and assemble the payload."""
+    if schedulers is None:
+        schedulers = tuple(scheduler_names())
     baseline = load_baseline(baseline_path)
-    results = []
+    results: List[Dict[str, Any]] = []
+    guard_rows: Dict[int, Dict[str, Dict[str, Any]]] = {}
     for n in scales:
-        entry = measure_scale(n, sim_seconds=sim_seconds, repetitions=repetitions)
-        base = baseline.get(n) if baseline else None
-        if base is not None:
-            # Same logical workload on both sides, so the events/sec ratio
-            # and the wall-time ratio are the same number.
-            entry["baseline_events_per_sec"] = base["events_per_sec"]
-            entry["baseline_wall_s_per_sim_s"] = base["wall_s_per_sim_s"]
-            entry["speedup_vs_baseline"] = (
-                entry["events_per_sec"] / base["events_per_sec"]
-            )
+        entries = measure_scheduler_set(
+            n, sim_seconds=sim_seconds, repetitions=repetitions,
+            schedulers=schedulers,
+        )
+        guard_rows[n] = entries
+        reference = entries.get(REFERENCE_SCHEDULER)
+        for name in schedulers:
+            entry = entries[name]
+            if name == REFERENCE_SCHEDULER:
+                base = baseline.get(n) if baseline else None
+                if base is not None:
+                    # Same logical workload on both sides, so the
+                    # events/sec ratio and the wall-time ratio are the
+                    # same number.
+                    entry["baseline_events_per_sec"] = base["events_per_sec"]
+                    entry["baseline_wall_s_per_sim_s"] = base["wall_s_per_sim_s"]
+                    entry["speedup_vs_baseline"] = (
+                        entry["events_per_sec"] / base["events_per_sec"]
+                    )
+            elif reference is not None:
+                entry["throughput_ratio_vs_heap"] = (
+                    entry["events_per_sec"] / reference["events_per_sec"]
+                )
+            if progress:
+                extras = []
+                speedup = entry.get("speedup_vs_baseline")
+                if speedup is not None:
+                    extras.append(f"speedup={speedup:.2f}x")
+                ratio = entry.get("throughput_ratio_vs_heap")
+                if ratio is not None:
+                    extras.append(f"vs-heap={ratio:.3f}x")
+                extra = ("  " + "  ".join(extras)) if extras else ""
+                print(
+                    f"[bench] {n:5d} nodes [{name:>8s}]: "
+                    f"{entry['wall_s']:.3f}s wall for {sim_seconds:g} sim-s "
+                    f"({entry['events_per_sec']:,.0f} events/s){extra}"
+                )
+            results.append(entry)
+    # -- scheduler throughput guard -----------------------------------------
+    # At the largest paper-range scale the calendar queue must at least
+    # match the heap: that crossover is the tentpole claim, and a
+    # regression here means the O(1) bucket machinery stopped paying for
+    # its constant factor.
+    scheduler_guard: Optional[Dict[str, Any]] = None
+    comparable = [s for s in schedulers if s != REFERENCE_SCHEDULER]
+    if comparable and REFERENCE_SCHEDULER in schedulers:
+        guard_n = (
+            SCHEDULER_GUARD_SCALE
+            if SCHEDULER_GUARD_SCALE in scales
+            else max(scales)
+        )
+        guard_entries = guard_rows[guard_n]
+        ratios = {
+            name: guard_entries[name]["throughput_ratio_vs_heap"]
+            for name in comparable
+        }
+        scheduler_guard = {
+            "n_clients": guard_n,
+            "reference": REFERENCE_SCHEDULER,
+            "ratios": ratios,
+            "budget_ratio": SCHEDULER_BUDGET_RATIO,
+            "within_budget": all(
+                ratio >= SCHEDULER_BUDGET_RATIO for ratio in ratios.values()
+            ),
+        }
         if progress:
-            speedup = entry.get("speedup_vs_baseline")
-            extra = f"  speedup={speedup:.2f}x" if speedup is not None else ""
-            print(
-                f"[bench] {n:5d} nodes: {entry['wall_s']:.3f}s wall for "
-                f"{sim_seconds:g} sim-s "
-                f"({entry['events_per_sec']:,.0f} events/s){extra}"
+            verdict = "PASS" if scheduler_guard["within_budget"] else "FAIL"
+            shown = ", ".join(
+                f"{name}={ratio:.3f}x" for name, ratio in sorted(ratios.items())
             )
-        results.append(entry)
+            print(
+                f"[bench] scheduler guard @ {guard_n} nodes: {shown} "
+                f"(budget >= {SCHEDULER_BUDGET_RATIO:g}x of heap) {verdict}"
+            )
     # -- membership overhead guard ------------------------------------------
     # Same scenario, detector on, at (preferably) 256 nodes: the extra
     # probe/ack traffic is itself counted in logical events, so the
     # events/sec ratio isolates per-event kernel cost -- membership must
     # keep at least MEMBERSHIP_BUDGET_RATIO of the plain throughput.  The
     # plain side is re-measured interleaved with the membership side (not
-    # taken from the sweep above) so machine-speed drift cancels.
+    # taken from the sweep above) so machine-speed drift cancels.  Runs
+    # on the reference scheduler (or the only one selected).
     guard_n = (
         MEMBERSHIP_GUARD_SCALE
         if MEMBERSHIP_GUARD_SCALE in scales
         else max(scales)
     )
+    guard_scheduler = (
+        REFERENCE_SCHEDULER if REFERENCE_SCHEDULER in schedulers else schedulers[0]
+    )
     plain, membership_entry = measure_guard_pair(
-        guard_n, sim_seconds=sim_seconds, repetitions=repetitions
+        guard_n, sim_seconds=sim_seconds, repetitions=repetitions,
+        scheduler=guard_scheduler,
     )
     ratio = membership_entry["events_per_sec"] / plain["events_per_sec"]
     membership_entry["plain_events_per_sec"] = plain["events_per_sec"]
@@ -292,7 +455,9 @@ def run_bench(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "baseline": str(baseline_path) if baseline else None,
+        "schedulers": list(schedulers),
         "scales": results,
+        "scheduler_guard": scheduler_guard,
         "membership": membership_entry,
     }
 
@@ -302,12 +467,35 @@ def write_bench(payload: Dict[str, Any], output: Path = DEFAULT_OUTPUT) -> Path:
     return output
 
 
+def write_bench_split(
+    payload: Dict[str, Any], output: Path = DEFAULT_OUTPUT
+) -> List[Path]:
+    """Write one per-scheduler file next to ``output`` (CI artifacts).
+
+    ``BENCH_kernel.json`` -> ``BENCH_kernel.heap.json`` etc., each
+    holding only that scheduler's scale rows so artifact diffs compare
+    like against like.
+    """
+    paths: List[Path] = []
+    for name in payload.get("schedulers", []):
+        sub = dict(payload)
+        sub["scheduler"] = name
+        sub["scales"] = [
+            entry for entry in payload["scales"] if entry["scheduler"] == name
+        ]
+        path = output.with_name(f"{output.stem}.{name}{output.suffix}")
+        path.write_text(json.dumps(sub, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
 def main(
     scales: Sequence[int] = DEFAULT_SCALES,
     sim_seconds: float = DEFAULT_SIM_SECONDS,
     repetitions: int = DEFAULT_REPETITIONS,
     baseline_path: Path = DEFAULT_BASELINE,
     output: Path = DEFAULT_OUTPUT,
+    schedulers: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """CLI entry: run the sweep, print progress, write the JSON."""
     payload = run_bench(
@@ -316,7 +504,10 @@ def main(
         repetitions=repetitions,
         baseline_path=baseline_path,
         progress=True,
+        schedulers=schedulers,
     )
     path = write_bench(payload, output=output)
     print(f"[bench] wrote {path}")
+    for split in write_bench_split(payload, output=output):
+        print(f"[bench] wrote {split}")
     return payload

@@ -22,7 +22,8 @@ from repro.managers.podd import PoddManager
 from repro.managers.slurm import SlurmConfig, SlurmManager
 from repro.managers.slurm_ha import HaSlurmConfig, HaSlurmManager
 from repro.net.network import NetworkStats
-from repro.sim.engine import Engine
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine, SchedulerSpec
 from repro.sim.rng import RngRegistry
 from repro.workloads.generator import assign_pair_to_cluster
 
@@ -140,13 +141,16 @@ class RunResult:
         return 1.0 / self.runtime_s
 
 
-def build_run(spec: RunSpec):
+def build_run(spec: RunSpec, sim: Optional[SimConfig] = None):
     """Construct (engine, cluster, manager) for ``spec`` without running.
 
     Exposed separately so tests and examples can poke at a mid-flight
-    simulation.
+    simulation.  ``sim`` selects kernel knobs (e.g. the event-queue
+    scheduler); it deliberately lives outside :class:`RunSpec` because it
+    must never change what is simulated -- only how.
     """
-    engine = Engine()
+    scheduler: SchedulerSpec = sim
+    engine = Engine(scheduler=scheduler)
     rngs = RngRegistry(seed=spec.seed)
     extra = extra_nodes(spec.manager)
     manager = make_manager(
@@ -176,9 +180,9 @@ def build_run(spec: RunSpec):
     return engine, cluster, manager
 
 
-def run_single(spec: RunSpec) -> RunResult:
+def run_single(spec: RunSpec, sim: Optional[SimConfig] = None) -> RunResult:
     """Run one experiment to completion and audit it."""
-    engine, cluster, manager = build_run(spec)
+    engine, cluster, manager = build_run(spec, sim=sim)
     manager.start()
     runtime = cluster.run_to_completion(time_limit_s=spec.time_limit_s)
     audit = manager.audit()

@@ -13,6 +13,7 @@ from repro.lint.rules import (  # noqa: F401  (import side effect: registration)
     r4_frozen_messages,
     r5_ledger_mutation,
     r6_callback_names,
+    r7_scheduler_order,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "r4_frozen_messages",
     "r5_ledger_mutation",
     "r6_callback_names",
+    "r7_scheduler_order",
 ]

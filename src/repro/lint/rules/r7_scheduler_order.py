@@ -1,0 +1,193 @@
+"""R7: scheduler bucket drains must not iterate dicts or sets.
+
+The event queue's total order is ``(time, priority, sequence)`` and
+nothing else.  Inside a scheduler implementation, any container drain
+that iterates a ``dict`` or ``set`` smuggles a *second* ordering into
+the queue: set order depends on hash internals, and dict order is the
+container's insertion history -- which is an artifact of how one
+particular implementation routes entries, not of the queue contract.
+Two schedulers can then both be "internally consistent" yet replay the
+same scenario differently, which is exactly the divergence the
+differential suite exists to catch (and the hardest kind to debug once
+it ships: the fixtures only pin the default scheduler's bytes).
+
+Inside ``repro/sim/schedulers`` the rule is therefore stricter than the
+codebase-wide R3: *dict* iteration is banned too, including the
+``.keys()/.values()/.items()`` views.  Buckets must be drained through
+an explicit order -- ``sorted(...)``, a heap, or an index scan over a
+list.  Membership tests, ``len``, and subscripting are fine; only
+iteration leaks container internals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Reduction calls whose result depends on iteration order (mirrors R3).
+_ORDER_SENSITIVE_REDUCTIONS = frozenset({"sum", "list", "tuple"})
+
+#: The dict views; iterating any of them iterates the dict.
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Annotation heads that mark a value as a dict.
+_DICT_ANNOTATIONS = frozenset(
+    {"dict", "Dict", "DefaultDict", "OrderedDict", "Counter",
+     "Mapping", "MutableMapping"}
+)
+
+
+def _annotation_head(node: ast.expr) -> Optional[str]:
+    """The outermost name of an annotation (``Dict[int, str]`` -> ``Dict``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        head = ""
+        for char in text:
+            if char.isalnum() or char in "._":
+                head += char
+            else:
+                break
+        if head:
+            return head.rsplit(".", maxsplit=1)[-1]
+    return None
+
+
+def _target_key(node: ast.expr) -> Optional[str]:
+    """Tracking key for a name or ``self.attr`` target (mirrors context)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _is_dict_literal(node: ast.expr) -> bool:
+    """Syntactically evident dict construction."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"dict", "defaultdict", "Counter", "OrderedDict"}
+    return False
+
+
+def _collect_dict_typed(tree: ast.Module) -> Set[str]:
+    """Names/attributes statically known to hold dicts (flow-insensitive)."""
+    known: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            head = _annotation_head(node.annotation)
+            key = _target_key(node.target)
+            if key is not None and head in _DICT_ANNOTATIONS:
+                known.add(key)
+        elif isinstance(node, ast.Assign):
+            if not _is_dict_literal(node.value):
+                continue
+            for target in node.targets:
+                key = _target_key(target)
+                if key is not None:
+                    known.add(key)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            head = _annotation_head(node.annotation)
+            if head in _DICT_ANNOTATIONS:
+                known.add(node.arg)
+    return known
+
+
+@register
+class SchedulerDrainOrderRule(Rule):
+    rule_id = "R7"
+    name = "scheduler-drain-order"
+    summary = (
+        "scheduler internals must not iterate dict/set containers; "
+        "drain buckets through an explicit order"
+    )
+    invariant = (
+        "the queue's only ordering is (time, priority, sequence): no "
+        "scheduler may leak container iteration order into pop order"
+    )
+    scope = ("repro/sim/schedulers",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        dict_typed = _collect_dict_typed(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                finding = self._check_iter(ctx, dict_typed, node.iter, "for-loop")
+                if finding is not None:
+                    yield finding
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    finding = self._check_iter(
+                        ctx, dict_typed, generator.iter, "comprehension"
+                    )
+                    if finding is not None:
+                        yield finding
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_REDUCTIONS
+                    and node.args
+                ):
+                    finding = self._check_iter(
+                        ctx, dict_typed, node.args[0], f"{func.id}()"
+                    )
+                    if finding is not None:
+                        yield finding
+
+    def _check_iter(
+        self,
+        ctx: FileContext,
+        dict_typed: Set[str],
+        node: ast.expr,
+        where: str,
+    ) -> Optional[Finding]:
+        if ctx.is_set_expr(node):
+            return self._finding(ctx, node, "set", where)
+        if self._is_dict_expr(dict_typed, node):
+            return self._finding(ctx, node, "dict", where)
+        return None
+
+    @staticmethod
+    def _is_dict_expr(dict_typed: Set[str], node: ast.expr) -> bool:
+        if _is_dict_literal(node):
+            return True
+        key = _target_key(node)
+        if key is not None and key in dict_typed:
+            return True
+        # The views are the explicit tell, whatever the receiver: code
+        # that spells .keys()/.values()/.items() is iterating a dict.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEW_METHODS
+            and not node.args
+        ):
+            return True
+        return False
+
+    def _finding(
+        self, ctx: FileContext, node: ast.expr, kind: str, where: str
+    ) -> Finding:
+        return ctx.finding(
+            self.rule_id,
+            node,
+            f"{kind} iteration in scheduler {where}; drain queue containers "
+            "through an explicit order (sorted(), a heap, or a list index "
+            "scan) so pop order never inherits container internals",
+        )

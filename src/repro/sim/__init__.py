@@ -17,7 +17,15 @@ SLURM-style manager, the network and the RAPL stand-in -- runs on top of
 this kernel, which makes every experiment deterministic given a seed.
 """
 
+from repro.sim.config import SimConfig
 from repro.sim.engine import Engine, SimulationError, StopSimulation
+from repro.sim.schedulers import (
+    SCHEDULERS,
+    CalendarQueueScheduler,
+    HeapScheduler,
+    Scheduler,
+    scheduler_names,
+)
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -32,18 +40,24 @@ from repro.sim.rng import RngRegistry, stable_name_hash
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueueScheduler",
     "Engine",
     "Event",
     "EventBase",
     "Gate",
+    "HeapScheduler",
     "Interrupt",
     "Lock",
     "Process",
     "RngRegistry",
+    "SCHEDULERS",
+    "Scheduler",
+    "SimConfig",
     "SimulationError",
     "StopSimulation",
     "Store",
     "StoreFull",
     "Timeout",
+    "scheduler_names",
     "stable_name_hash",
 ]

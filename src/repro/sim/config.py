@@ -1,0 +1,39 @@
+"""Simulation-kernel configuration.
+
+:class:`SimConfig` selects *how* a scenario is executed (which event
+scheduler drives the queue), as opposed to the protocol configs under
+:mod:`repro.core.config` which select *what* is simulated.  Any two
+``SimConfig`` values must replay a given scenario byte-identically --
+that equivalence is enforced by the differential scheduler rig
+(``tests/test_sim_scheduler_equivalence.py``) and the pinned fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.schedulers import SCHEDULERS, Scheduler, default_scheduler_name, make_scheduler
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Kernel knobs for one simulation run.
+
+    ``scheduler`` is a name from :data:`repro.sim.schedulers.SCHEDULERS`
+    (``"heap"`` or ``"calendar"``); ``None`` defers to the
+    ``REPRO_SCHEDULER`` environment variable and finally to the heap.
+    """
+
+    scheduler: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)}"
+            )
+
+    def make_scheduler(self) -> Scheduler:
+        """Instantiate the configured (or ambient-default) scheduler."""
+        return make_scheduler(self.scheduler or default_scheduler_name())

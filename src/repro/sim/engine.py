@@ -1,26 +1,34 @@
 """The simulation event loop and clock.
 
-The engine owns a priority queue of triggered events keyed by
-``(time, priority, sequence)``.  The sequence number makes simultaneous
-events process in trigger order, which (together with seeded RNG streams)
-makes every simulation fully deterministic.
+The engine owns a queue of triggered events keyed by ``(time, priority,
+sequence)``.  The sequence number makes simultaneous events process in
+trigger order, which (together with seeded RNG streams) makes every
+simulation fully deterministic.
+
+The queue itself is pluggable (:mod:`repro.sim.schedulers`): the engine
+only relies on the scheduler surfacing entries in the exact total key
+order, so the default binary heap and the calendar queue replay any
+scenario byte-identically -- the property pinned by the differential
+rig in ``tests/test_sim_scheduler_equivalence.py``.
 
 Hot-path notes
 --------------
 ``run`` inlines the pop/process cycle instead of calling :meth:`step`
 per event: at paper scale the loop dispatches hundreds of thousands of
 events per wall-second, and the per-event call overhead is measurable
-(see ``benchmarks/bench_kernel.py``).  Cancelled events (lazy deletion,
+(see ``benchmarks/bench_kernel.py``).  Event constructors push onto the
+queue through the pre-bound ``engine._push`` rather than a scheduler
+method lookup.  Cancelled events (lazy deletion,
 :meth:`repro.sim.events.Timeout.cancel`) are discarded as they surface
-from the heap, without counting toward ``processed_events``.
+from the queue, without counting toward ``processed_events``.
 """
 
 from __future__ import annotations
 
-import heapq
 from itertools import count
-from typing import Any, Callable, Generator, List, Optional, Tuple, Union
+from typing import Any, Callable, Generator, List, Optional, Union
 
+from repro.sim.config import SimConfig
 from repro.sim.events import (
     PRIORITY_NORMAL,
     AllOf,
@@ -31,6 +39,7 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process
+from repro.sim.schedulers import Scheduler, make_scheduler, default_scheduler_name
 
 
 class SimulationError(RuntimeError):
@@ -45,8 +54,18 @@ class StopSimulation(Exception):
         self.value = value
 
 
-#: Queue entries are (time, priority, sequence, event).
-_QueueItem = Tuple[float, int, int, EventBase]
+#: How a scheduler may be selected at engine construction.
+SchedulerSpec = Union[None, str, Scheduler, SimConfig]
+
+
+def _resolve_scheduler(spec: SchedulerSpec) -> Scheduler:
+    if spec is None:
+        return make_scheduler(default_scheduler_name())
+    if isinstance(spec, Scheduler):
+        return spec
+    if isinstance(spec, SimConfig):
+        return spec.make_scheduler()
+    return make_scheduler(spec)
 
 
 class Engine:
@@ -63,11 +82,22 @@ class Engine:
         proc = engine.process(worker(engine))
         engine.run()
         assert engine.now == 1.0 and proc.value == "done"
+
+    ``scheduler`` selects the event-queue implementation: a name from
+    :data:`repro.sim.schedulers.SCHEDULERS`, a ready instance, or a
+    :class:`~repro.sim.config.SimConfig`; ``None`` (the default) honors
+    the ``REPRO_SCHEDULER`` environment variable and falls back to the
+    binary heap.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, scheduler: SchedulerSpec = None
+    ) -> None:
         self._now = float(start_time)
-        self._queue: List[_QueueItem] = []
+        self._scheduler = _resolve_scheduler(scheduler)
+        #: Pre-bound enqueue -- the hottest call in the simulator; event
+        #: constructors invoke it directly.
+        self._push = self._scheduler.push
         self._sequence = count()
         self._active_process: Optional[Process] = None
         #: Monotone counter of processed events (useful for cost accounting
@@ -89,6 +119,11 @@ class Engine:
         """The process currently executing, if the engine is inside one."""
         return self._active_process
 
+    @property
+    def scheduler(self) -> Scheduler:
+        """The event-queue scheduler driving this engine."""
+        return self._scheduler
+
     # -- factories -----------------------------------------------------------
 
     def event(self, name: Optional[str] = None) -> Event:
@@ -109,7 +144,7 @@ class Engine:
         """Run ``fn(*args)`` after ``delay`` as a single queue event.
 
         The lightweight replacement for spawning a process that sleeps
-        once and acts: one heap entry, no generator.  Used by the network
+        once and acts: one queue entry, no generator.  Used by the network
         (message delivery) and RAPL (cap enforcement) hot paths.
         """
         return Callback(self, delay, fn, *args, name=name)
@@ -136,28 +171,25 @@ class Engine:
         """Put a triggered event on the processing queue."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._sequence), event)
-        )
+        self._push((self._now + delay, priority, next(self._sequence), event))
 
     def _discard_cancelled_head(self) -> None:
-        """Pop lazily-deleted entries off the front of the heap."""
-        queue = self._queue
-        while queue and queue[0][3]._cancelled:
-            heapq.heappop(queue)
-            self.cancelled_events += 1
+        """Drop lazily-deleted entries off the front of the queue."""
+        self.cancelled_events += self._scheduler.discard_cancelled()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         self._discard_cancelled_head()
-        return self._queue[0][0] if self._queue else float("inf")
+        head = self._scheduler.peek()
+        return head[0] if head is not None else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
         self._discard_cancelled_head()
-        if not self._queue:
+        item = self._scheduler.pop()
+        if item is None:
             raise IndexError("step() on an empty event queue")
-        when, _, _, event = heapq.heappop(self._queue)
+        when, _, _, event = item
         assert when >= self._now, "event queue went backwards"
         self._now = when
         self.processed_events += 1
@@ -178,8 +210,7 @@ class Engine:
         * ``until=<event>`` -- run until that event is processed and return
           its value (raising if it failed).
         """
-        queue = self._queue
-        heappop = heapq.heappop
+        pop = self._scheduler.pop
         # Counter updates are batched in locals and flushed in ``finally``:
         # two instance-attribute read-modify-writes per event are measurable
         # at paper scale.
@@ -188,8 +219,11 @@ class Engine:
 
         if until is None:
             try:
-                while queue:
-                    when, _, _, event = heappop(queue)
+                while True:
+                    item = pop()
+                    if item is None:
+                        break
+                    when, _, _, event = item
                     if event._cancelled:
                         cancelled += 1
                         continue
@@ -216,7 +250,12 @@ class Engine:
             stop_event.callbacks.append(_stop_callback)
             try:
                 while True:
-                    when, _, _, event = heappop(queue)
+                    item = pop()
+                    if item is None:
+                        raise SimulationError(
+                            f"event queue drained before {stop_event!r} fired"
+                        )
+                    when, _, _, event = item
                     if event._cancelled:
                         cancelled += 1
                         continue
@@ -233,10 +272,6 @@ class Engine:
                 if not event.ok:
                     raise event.value
                 return event.value
-            except IndexError:
-                raise SimulationError(
-                    f"event queue drained before {stop_event!r} fired"
-                ) from None
             finally:
                 self.processed_events += processed
                 self.cancelled_events += cancelled
@@ -246,9 +281,13 @@ class Engine:
             raise ValueError(
                 f"until={horizon!r} lies in the past (now={self._now!r})"
             )
+        pop_due = self._scheduler.pop_due
         try:
-            while queue and queue[0][0] <= horizon:
-                when, _, _, event = heappop(queue)
+            while True:
+                item = pop_due(horizon)
+                if item is None:
+                    break
+                when, _, _, event = item
                 if event._cancelled:
                     cancelled += 1
                     continue

@@ -9,7 +9,6 @@ is processed.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -102,11 +101,11 @@ class EventBase:
         self._value = value
         # Inlined Engine._schedule: triggering is one of the kernel's
         # hottest operations (every grant, inbox hand-off and process
-        # completion lands here).
+        # completion lands here).  ``_push`` is the scheduler's pre-bound
+        # enqueue (see repro.sim.schedulers).
         engine = self.engine
-        heappush(
-            engine._queue,
-            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self),
+        engine._push(
+            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self)
         )
         return self
 
@@ -125,9 +124,8 @@ class EventBase:
         self._ok = False
         self._value = exception
         engine = self.engine
-        heappush(
-            engine._queue,
-            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self),
+        engine._push(
+            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self)
         )
         return self
 
@@ -187,9 +185,8 @@ class Timeout(EventBase):
         self._defused = False
         self._cancelled = False
         self.delay = delay
-        heappush(
-            engine._queue,
-            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self),
+        engine._push(
+            (engine._now + delay, PRIORITY_NORMAL, next(engine._sequence), self)
         )
 
     def cancel(self) -> None:
@@ -250,9 +247,8 @@ class Callback(EventBase):
         self._cancelled = False
         self._fn = fn
         self._args = args
-        heappush(
-            engine._queue,
-            (engine._now + delay, priority, next(engine._sequence), self),
+        engine._push(
+            (engine._now + delay, priority, next(engine._sequence), self)
         )
 
     def cancel(self) -> None:

@@ -9,7 +9,6 @@ other.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import PRIORITY_URGENT, EventBase
@@ -42,10 +41,7 @@ class _Initialize(EventBase):
         self._ok = True
         self._defused = False
         self._cancelled = False
-        heappush(
-            engine._queue,
-            (engine._now, PRIORITY_URGENT, next(engine._sequence), self),
-        )
+        engine._push((engine._now, PRIORITY_URGENT, next(engine._sequence), self))
 
 
 class _Interruption(EventBase):
@@ -70,10 +66,7 @@ class _Interruption(EventBase):
         self._defused = True
         self._cancelled = False
         self.process = process
-        heappush(
-            engine._queue,
-            (engine._now, PRIORITY_URGENT, next(engine._sequence), self),
-        )
+        engine._push((engine._now, PRIORITY_URGENT, next(engine._sequence), self))
 
     def _deliver(self, event: EventBase) -> None:
         process = self.process

@@ -1,0 +1,38 @@
+"""R7 fixture: container-order iteration inside a scheduler."""
+
+from typing import Dict, List, Set
+
+
+class LeakyScheduler:
+    def __init__(self) -> None:
+        self.buckets: Dict[int, List[tuple]] = {}
+        self.cancelled: Set[int] = set()
+
+    def drain(self) -> list:
+        out = []
+        for day in self.buckets:  # R7: dict iteration
+            out.extend(self.buckets[day])
+        return out
+
+    def drain_views(self) -> list:
+        out = []
+        for day, bucket in self.buckets.items():  # R7: dict view
+            out.extend(bucket)
+        for bucket in self.buckets.values():  # R7: dict view
+            out.extend(bucket)
+        return out
+
+    def drop_cancelled(self) -> list:
+        return [seq for seq in self.cancelled]  # R7: set comprehension
+
+    def bucket_days(self) -> list:
+        return list(self.buckets.keys())  # R7: list() over dict view
+
+
+def drain_literal() -> None:
+    for day in {"a": 1, "b": 2}:  # R7: dict literal
+        print(day)
+
+
+def total_backlog(depths: Set[float]) -> float:
+    return sum(depths)  # R7: sum over set

@@ -1,0 +1,33 @@
+"""R7 fixture: explicitly ordered drains pass."""
+
+from heapq import heappop
+from typing import Dict, List, Set
+
+
+class OrderedScheduler:
+    def __init__(self) -> None:
+        self.buckets: Dict[int, List[tuple]] = {}
+        self.cancelled: Set[int] = set()
+
+    def drain(self) -> list:
+        out = []
+        for day in sorted(self.buckets):  # explicit order: fine
+            out.extend(sorted(self.buckets[day]))
+        return out
+
+    def drain_items_sorted(self) -> list:
+        return [entry for _, entry in sorted(self.buckets.items())]
+
+    def drop_cancelled(self) -> list:
+        return sorted(self.cancelled)
+
+    def pop_min(self, heap: List[tuple]) -> tuple:
+        # Heap discipline is an explicit order; list iteration is fine.
+        while heap:
+            entry = heappop(heap)
+            if entry[2] not in self.cancelled:  # membership test: fine
+                return entry
+        raise IndexError("empty")
+
+    def backlog(self) -> int:
+        return len(self.cancelled)  # len(): fine

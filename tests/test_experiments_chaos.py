@@ -26,6 +26,7 @@ from repro.experiments.chaos import (
     run_chaos_single,
     run_chaos_sweep,
 )
+from repro.experiments.serialize import canonical_json
 
 SMOKE = ChaosSpec(
     n_clients=4,
@@ -179,6 +180,28 @@ class TestChaosCodecs:
         assert decoded.recorder.counters == smoke_result.recorder.counters
         assert decoded.recorder.samples == smoke_result.recorder.samples
         assert decoded.network == smoke_result.network
+
+
+class TestPinnedChaosDeterminism:
+    def test_byte_identical_to_pinned_fixture(self, scheduler):
+        # The chaos analogue of TestPinnedTrajectoryDeterminism: kills,
+        # flaps and loss bursts cancel in-flight events, which is the
+        # queue shape the nominal fixtures never exercise.  Every
+        # registered scheduler must replay the storm byte-for-byte.
+        import importlib.util
+        import pathlib
+
+        fixtures = pathlib.Path(__file__).parent / "fixtures"
+        spec_module = importlib.util.spec_from_file_location(
+            "generate_chaos_fixture", fixtures / "generate_chaos_fixture.py"
+        )
+        assert spec_module is not None and spec_module.loader is not None
+        module = importlib.util.module_from_spec(spec_module)
+        spec_module.loader.exec_module(module)
+        assert module.CHAOS_FIXTURE_SPEC == SMOKE
+        expected = (fixtures / f"{module.CHAOS_FIXTURE_NAME}.json").read_text()
+        data = chaos_result_to_dict(run_chaos_single(SMOKE))
+        assert canonical_json(data) + "\n" == expected
 
 
 class TestDetectorMetrics:

@@ -50,7 +50,7 @@ class TestJsonReport:
         assert report["version"] == REPORT_VERSION
         assert report["files_scanned"] == 1
         assert report["counts"] == {"R6": 2}
-        assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
         finding = report["findings"][0]
         assert set(finding) == {"rule", "path", "line", "col", "message", "snippet"}
         assert finding["rule"] == "R6"
@@ -74,7 +74,7 @@ class TestListRules:
     def test_lists_all_six(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
             assert rule_id in out
         assert "invariant:" in out
 

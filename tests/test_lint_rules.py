@@ -30,9 +30,9 @@ def rule_lines(findings, rule_id: str):
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
 
     def test_rules_carry_documentation(self):
         for rule in all_rules():
@@ -117,6 +117,32 @@ class TestR6CallbackNames:
         assert findings_for("r6_good.py", ["R6"]) == []
 
 
+class TestR7SchedulerOrder:
+    def test_bad_fixture_exact_lines(self):
+        findings = findings_for("r7_bad.py", ["R7"])
+        assert rule_lines(findings, "R7") == [13, 19, 21, 26, 29, 33, 38]
+
+    def test_good_fixture_silent(self):
+        assert findings_for("r7_good.py", ["R7"]) == []
+
+    def test_message_names_the_container_kind(self):
+        findings = findings_for("r7_bad.py", ["R7"])
+        assert findings[0].message.startswith("dict iteration")
+        assert findings[3].message.startswith("set iteration")
+
+    def test_scheduler_module_in_scope_and_clean(self):
+        # The rule exists to police exactly this module: the calendar
+        # queue's bucket drains must never inherit container order.
+        schedulers = REPO_ROOT / "src" / "repro" / "sim" / "schedulers.py"
+        assert lint_file(schedulers, get_rules(["R7"]), LintConfig()) == []
+
+    def test_rule_scope_excludes_other_modules(self):
+        # R7 is scoped to repro/sim/schedulers; identical code elsewhere
+        # in src/ is R3's business (sets only), not R7's.
+        engine = REPO_ROOT / "src" / "repro" / "sim" / "engine.py"
+        assert lint_file(engine, get_rules(["R7"]), LintConfig()) == []
+
+
 class TestAllowlists:
     def test_inline_suppressions(self):
         findings = findings_for("allowlist_inline.py")
@@ -156,4 +182,4 @@ class TestSelfScan:
         formatted = "\n".join(f.format() for f in report.findings)
         assert report.ok, f"lint findings in src/:\n{formatted}"
         assert report.files_scanned > 70
-        assert list(report.rules_run) == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert list(report.rules_run) == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]

@@ -160,3 +160,60 @@ class TestFactories:
     def test_negative_timeout_rejected(self, engine):
         with pytest.raises(ValueError):
             engine.timeout(-0.1)
+
+
+class TestRunUntilHorizon:
+    """Micro-regressions for run(until=<number>) boundary behavior.
+
+    Parametrized over every registered scheduler via the `scheduler`
+    fixture: horizon handling is where a bucketed queue's scan cursor
+    can disagree with a heap (events exactly at the horizon, buckets
+    whose head entries are all cancelled).
+    """
+
+    def test_event_exactly_at_horizon_is_processed(self, scheduler):
+        engine = Engine(scheduler=scheduler)
+        fired = []
+        engine.call_later(5.0, fired.append, "at-horizon")
+        engine.call_later(5.000001, fired.append, "past-horizon")
+        engine.run(until=5.0)
+        assert fired == ["at-horizon"]
+        assert engine.now == 5.0
+
+    def test_empty_queue_still_advances_clock_to_until(self, scheduler):
+        engine = Engine(scheduler=scheduler)
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+    def test_events_past_horizon_stay_queued(self, scheduler):
+        engine = Engine(scheduler=scheduler)
+        fired = []
+        engine.call_later(10.0, fired.append, "later")
+        engine.run(until=5.0)
+        assert fired == [] and len(engine.scheduler) == 1
+        engine.run(until=10.0)
+        assert fired == ["later"]
+
+    def test_peek_skips_a_fully_cancelled_bucket_head(self, scheduler):
+        engine = Engine(scheduler=scheduler)
+        # Several same-time entries at the queue head, all cancelled:
+        # peek() must lazily discard the whole cluster and report the
+        # first live entry behind it.
+        doomed = [engine.timeout(1.0) for _ in range(3)]
+        survivor_at = 2.0
+        engine.timeout(survivor_at)
+        for timeout in doomed:
+            timeout.cancel()
+        assert engine.peek() == survivor_at
+        assert engine.cancelled_events == 3
+        engine.run()
+        assert engine.now == survivor_at
+
+    def test_run_until_horizon_counts_cancelled_entries(self, scheduler):
+        engine = Engine(scheduler=scheduler)
+        cancelled = engine.timeout(3.0)
+        engine.call_later(1.0, cancelled.cancel)
+        engine.call_later(4.0, lambda: None)
+        engine.run(until=6.0)
+        assert engine.cancelled_events == 1
+        assert engine.now == 6.0

@@ -1,0 +1,264 @@
+"""Differential equivalence rig: every scheduler vs the reference heap.
+
+The determinism contract (DESIGN.md) says the event queue is a *total
+order* over ``(time, priority, sequence)`` -- the scheduler is just a
+container for it.  These tests enforce the contract differentially:
+
+* **Scheduler level** (hypothesis): randomized push/pop/pop_due/cancel
+  workloads with clustered timestamps, duplicate times and priority
+  ties must produce the identical operation-by-operation transcript on
+  the heap and the calendar queue, shrinking to minimal
+  counterexamples.  Tiny initial wheels force resize/overflow paths.
+* **Engine level** (hypothesis): random schedules of timeouts,
+  callbacks, cancellations and zero-delay chains driven through
+  ``Engine.run`` must process in the same order with the same final
+  clock and counters.
+* **Scenario level**: full Penelope nominal / faulty / membership and
+  chaos-storm runs must serialize byte-identically under both
+  schedulers (the pinned-fixture tests in ``test_sim_bench.py`` and
+  ``test_experiments_chaos.py`` additionally pin those bytes across
+  revisions).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.faults import FaultPlan
+from repro.experiments.chaos import ChaosSpec, chaos_result_to_dict, run_chaos_single
+from repro.experiments.harness import RunSpec, run_single
+from repro.experiments.serialize import canonical_json, result_to_dict
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.schedulers import (
+    SCHEDULERS,
+    CalendarQueueScheduler,
+    HeapScheduler,
+    scheduler_names,
+)
+
+# ---------------------------------------------------------------------------
+# Scheduler-level differential workloads
+# ---------------------------------------------------------------------------
+
+
+class _FakeEvent:
+    """Just enough of EventBase for a scheduler: a cancellation flag."""
+
+    __slots__ = ("_cancelled", "tag")
+
+    def __init__(self, tag: int) -> None:
+        self._cancelled = False
+        self.tag = tag
+
+
+#: Clustered delays: a small grid (duplicate timestamps, zero delays)
+#: plus occasional arbitrary floats.
+_delays = st.one_of(
+    st.sampled_from([0.0, 0.0, 0.001, 0.001, 0.25, 0.25, 1.0, 5.0, 40.0]),
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _delays, st.integers(0, 1)),
+        st.tuples(st.just("pop"), st.just(0), st.just(0)),
+        st.tuples(st.just("pop_due"), _delays, st.just(0)),
+        st.tuples(st.just("peek"), st.just(0), st.just(0)),
+        st.tuples(st.just("cancel"), st.integers(0, 200), st.just(0)),
+        st.tuples(st.just("discard"), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _run_ops(scheduler, ops):
+    """Interpret an op list against one scheduler; return the transcript.
+
+    Pushes respect the engine's no-past-scheduling guarantee: times are
+    ``now + delay`` where ``now`` advances to each popped entry's time
+    (and to the horizon on ``pop_due``, mirroring ``run(until=...)``).
+    """
+    transcript = []
+    events = []
+    now = 0.0
+    sequence = 0
+    for op, arg, priority in ops:
+        if op == "push":
+            event = _FakeEvent(sequence)
+            events.append(event)
+            scheduler.push((now + arg, priority, sequence, event))
+            sequence += 1
+        elif op == "pop":
+            item = scheduler.pop()
+            if item is not None:
+                now = item[0]
+            transcript.append(("pop", _key(item)))
+        elif op == "pop_due":
+            horizon = now + arg
+            item = scheduler.pop_due(horizon)
+            now = item[0] if item is not None else horizon
+            transcript.append(("pop_due", _key(item)))
+        elif op == "peek":
+            transcript.append(("peek", _key(scheduler.peek())))
+        elif op == "cancel":
+            if events:
+                events[arg % len(events)]._cancelled = True
+        elif op == "discard":
+            transcript.append(("discard", scheduler.discard_cancelled()))
+        transcript.append(("len", len(scheduler)))
+    # Drain what is left so every queued entry's position is compared.
+    while True:
+        item = scheduler.pop()
+        transcript.append(("drain", _key(item)))
+        if item is None:
+            return transcript
+
+
+def _key(item):
+    if item is None:
+        return None
+    time, priority, sequence, event = item
+    return (time, priority, sequence, event.tag, event._cancelled)
+
+
+class TestSchedulerDifferential:
+    @given(ops=_ops)
+    @settings(max_examples=300, deadline=None)
+    def test_calendar_matches_heap_transcript(self, ops):
+        heap = _run_ops(HeapScheduler(), ops)
+        calendar = _run_ops(CalendarQueueScheduler(), ops)
+        assert calendar == heap
+
+    @given(ops=_ops, n_buckets=st.sampled_from([2, 3, 8]), width=st.sampled_from([1e-6, 0.25, 1e3]))
+    @settings(max_examples=200, deadline=None)
+    def test_degenerate_wheel_geometry_still_matches(self, ops, n_buckets, width):
+        # Tiny wheels and absurd widths force resizes, overflow misses
+        # and multi-lap buckets on almost every operation.
+        heap = _run_ops(HeapScheduler(), ops)
+        calendar = _run_ops(
+            CalendarQueueScheduler(n_buckets=n_buckets, width=width), ops
+        )
+        assert calendar == heap
+
+    def test_far_future_entries_sort_last(self):
+        heap, calendar = HeapScheduler(), CalendarQueueScheduler()
+        for scheduler in (heap, calendar):
+            scheduler.push((float("inf"), 1, 0, _FakeEvent(0)))
+            scheduler.push((1.0, 1, 1, _FakeEvent(1)))
+            scheduler.push((float("inf"), 1, 2, _FakeEvent(2)))
+        order_heap = [heap.pop()[2] for _ in range(3)]
+        order_cal = [calendar.pop()[2] for _ in range(3)]
+        assert order_cal == order_heap == [1, 0, 2]
+
+
+# ---------------------------------------------------------------------------
+# Engine-level differential workloads
+# ---------------------------------------------------------------------------
+
+_schedule = st.lists(
+    st.tuples(
+        st.sampled_from(["timeout", "callback", "cancelled", "chain", "interrupt"]),
+        _delays,
+        st.integers(1, 3),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _engine_trace(scheduler_name, schedule, horizon):
+    """Run one synthetic workload; return (trace, now, processed, cancelled)."""
+    engine = Engine(scheduler=scheduler_name)
+    trace = []
+
+    def note(tag):
+        trace.append((engine.now, tag))
+
+    for index, (kind, delay, width) in enumerate(schedule):
+        if kind == "timeout":
+            def proc(index=index, delay=delay):
+                yield engine.timeout(delay)
+                note(("timeout", index))
+            engine.process(proc())
+        elif kind == "callback":
+            engine.call_later(delay, note, ("callback", index))
+        elif kind == "cancelled":
+            # Cancel strictly before the timeout would fire, so the entry
+            # is lazily discarded by whichever scheduler holds it.
+            timeout = engine.timeout(delay + 1.0)
+            engine.call_later(delay / 2.0, timeout.cancel)
+        elif kind == "chain":
+            # Zero-delay chain: each link re-schedules at the same instant.
+            def link(remaining, index=index):
+                note(("chain", index, remaining))
+                if remaining:
+                    engine.call_later(0.0, link, remaining - 1)
+            engine.call_later(delay, link, width)
+        elif kind == "interrupt":
+            def sleeper(index=index):
+                try:
+                    yield engine.timeout(1e9)
+                except Exception:
+                    note(("interrupted", index))
+            victim = engine.process(sleeper())
+            engine.call_later(delay, victim.interrupt, "diff-rig")
+    engine.run(until=horizon)
+    return trace, engine.now, engine.processed_events, engine.cancelled_events
+
+
+class TestEngineDifferential:
+    @given(schedule=_schedule, horizon=st.floats(1.0, 500.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_processing_order_clock_and_counters_match(self, schedule, horizon):
+        results = {
+            name: _engine_trace(name, schedule, horizon)
+            for name in scheduler_names()
+        }
+        reference = results["heap"]
+        for name, outcome in results.items():
+            assert outcome == reference, f"{name} diverged from heap"
+
+
+# ---------------------------------------------------------------------------
+# Full-scenario differentials
+# ---------------------------------------------------------------------------
+
+_NOMINAL = RunSpec(
+    "penelope", ("EP", "DC"), 70.0, n_clients=4, seed=7, workload_scale=0.1,
+    record_caps=True,
+)
+_FAULTY = RunSpec(
+    "penelope", ("CG", "LU"), 65.0, n_clients=4, seed=5, workload_scale=0.1,
+    fault_plan=FaultPlan().kill(1, 2.0),
+)
+_MEMBERSHIP_CHAOS = ChaosSpec(
+    n_clients=6, seed=7, duration_s=15.0, workload_scale=0.1,
+    kills=1, flaps=1, bursts=1, partitions=1,
+    enable_membership=True, membership_probe_period_s=0.5,
+)
+
+
+def _scenario_bytes(spec, scheduler):
+    return canonical_json(result_to_dict(run_single(spec, sim=SimConfig(scheduler=scheduler))))
+
+
+class TestScenarioDifferential:
+    def test_nominal_penelope_byte_identical_across_schedulers(self):
+        results = {name: _scenario_bytes(_NOMINAL, name) for name in SCHEDULERS}
+        assert len(set(results.values())) == 1, sorted(results)
+
+    def test_faulty_penelope_byte_identical_across_schedulers(self):
+        results = {name: _scenario_bytes(_FAULTY, name) for name in SCHEDULERS}
+        assert len(set(results.values())) == 1, sorted(results)
+
+    def test_membership_chaos_storm_byte_identical_across_schedulers(self, monkeypatch):
+        payloads = {}
+        for name in scheduler_names():
+            monkeypatch.setenv("REPRO_SCHEDULER", name)
+            payloads[name] = canonical_json(
+                chaos_result_to_dict(run_chaos_single(_MEMBERSHIP_CHAOS))
+            )
+        assert len(set(payloads.values())) == 1

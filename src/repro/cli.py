@@ -267,7 +267,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke sizing: 64 nodes, 10 sim-s, 1 repetition",
+        help="CI smoke sizing: 64 nodes, 10 sim-s, 1 repetition, no sweep",
+    )
+    bench.add_argument(
+        "--batched-sweep",
+        type=int,
+        nargs="?",
+        const=_bench.BATCHED_SWEEP_SCALE,
+        default=None,
+        metavar="N",
+        help=(
+            "add one batched-only calendar row at N nodes "
+            f"(default N: {_bench.BATCHED_SWEEP_SCALE})"
+        ),
     )
     bench.add_argument(
         "--baseline",
@@ -411,10 +423,12 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
 
         if args.quick:
             scales, sim_seconds, repetitions = [64], 10.0, 1
+            batched_sweep = None
         else:
             scales = args.scales
             sim_seconds = args.sim_seconds
             repetitions = args.repetitions
+            batched_sweep = args.batched_sweep
         payload = bench_mod.main(
             scales=scales,
             sim_seconds=sim_seconds,
@@ -422,6 +436,7 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             baseline_path=Path(args.baseline),
             output=Path(args.output),
             schedulers=args.schedulers,
+            batched_sweep_scale=batched_sweep,
         )
         failed = False
         guard = payload["scheduler_guard"]
@@ -430,6 +445,19 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
                 "[bench] FAIL: calendar scheduler fell below "
                 f"{bench_mod.SCHEDULER_BUDGET_RATIO:g}x heap throughput "
                 f"at {guard['n_clients']} nodes",
+                file=sys.stderr,
+            )
+            failed = True
+        batched_guard = payload["batched_guard"]
+        if (
+            batched_guard is not None
+            and batched_guard["enforced"]
+            and not batched_guard["within_budget"]
+        ):
+            print(
+                "[bench] FAIL: batched ticks fell below "
+                f"{bench_mod.BATCHED_BUDGET_RATIO:g}x per-node throughput "
+                f"at {batched_guard['n_clients']} nodes",
                 file=sys.stderr,
             )
             failed = True

@@ -158,6 +158,11 @@ class Cluster:
                 f"cluster did not complete within {time_limit_s} simulated seconds"
             )
         del finished
+        if not guard.processed:
+            # The livelock guard never fired: cancel it, or the queue
+            # keeps a far-future timer and a later drain of this engine
+            # would leap the clock to the guard's expiry.
+            guard.cancel()
         makespans = [
             node.executor.finished_at
             for node in self.compute_nodes()

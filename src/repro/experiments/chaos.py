@@ -36,6 +36,7 @@ from repro.experiments.runner import TaskKind, run_sweep
 from repro.instrumentation import MetricsRecorder
 from repro.net.network import NetworkStats
 from repro.sim._stop import stop_process
+from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
@@ -350,9 +351,18 @@ class ChaosResult:
     detector: Optional[Dict[str, Any]] = None
 
 
-def run_chaos_single(spec: ChaosSpec) -> ChaosResult:
-    """Run one seeded chaos storm to its horizon under continuous audit."""
-    engine = Engine()
+def run_chaos_single(
+    spec: ChaosSpec, sim: Optional[SimConfig] = None
+) -> ChaosResult:
+    """Run one seeded chaos storm to its horizon under continuous audit.
+
+    ``sim`` selects kernel knobs (scheduler, batched ticks) exactly as in
+    :func:`repro.experiments.harness.run_single`; ``None`` defers to the
+    ambient environment defaults.  The pinned chaos fixture passes
+    ``SimConfig(batched_ticks=False)`` -- its bytes encode the staggered
+    per-node trajectory, which the batcher only approximates.
+    """
+    engine = Engine(scheduler=sim)
     rngs = RngRegistry(seed=spec.seed)
     config = PenelopeConfig(
         response_timeout_s=spec.response_timeout_s,

@@ -89,8 +89,13 @@ class ManagerConfig:
         )
 
     def with_period(self, period_s: float) -> "ManagerConfig":
-        """This config at a different decider period (frequency sweeps)."""
-        return replace(self, period_s=period_s, response_timeout_s=None)
+        """This config at a different decider period (frequency sweeps).
+
+        A derived response timeout (``response_timeout_s=None``) keeps
+        deriving from the new period; an explicit override is preserved,
+        not silently reset to the derived default.
+        """
+        return replace(self, period_s=period_s)
 
 
 @dataclass

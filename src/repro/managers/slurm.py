@@ -89,7 +89,7 @@ class SlurmConfig(ManagerConfig):
             raise ValueError("urgency TTL must be positive")
 
     def with_period(self, period_s: float) -> "SlurmConfig":
-        return replace(self, period_s=period_s, response_timeout_s=None)
+        return replace(self, period_s=period_s)
 
 
 class SlurmServer:

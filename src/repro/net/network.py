@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set
+from typing import Any, Callable, Dict, Optional, Set
 
 import numpy as np
 
@@ -86,6 +86,17 @@ class Network:
         #: injection) override ``loss_probability`` and restore to this.
         self.base_loss_probability = loss_probability
         self.stats = NetworkStats()
+        #: Pre-drawn unit lognormal latency factors.  A numpy scalar draw
+        #: costs microseconds of Generator dispatch per message; drawing
+        #: blocks amortizes it, and a vectorized ``lognormal(size=k)``
+        #: consumes the bit stream exactly like ``k`` scalar draws, so
+        #: trajectories are unchanged.  Refills only happen while
+        #: ``loss_probability == 0`` -- loss draws interleave on the same
+        #: stream, and a lossy-from-construction network must keep the
+        #: legacy draw-for-draw alignment (see :meth:`send`).
+        self._latency_units: "np.ndarray[Any, Any]" = np.empty(0)
+        self._latency_idx = 0
+        self._latency_buffering = True
 
     # -- membership ------------------------------------------------------
 
@@ -148,6 +159,17 @@ class Network:
             raise ValueError(f"loss probability out of [0, 1): {probability!r}")
         self.loss_probability = probability
 
+    def disable_latency_buffering(self) -> None:
+        """Stop drawing latency factors ahead of use (see ``send``).
+
+        Fault plans with timed loss bursts call this at install time:
+        loss draws interleave with latency draws on the same stream, so
+        pre-drawn latencies would shift the position of every loss draw
+        once a burst starts.  Must run before traffic flows -- factors
+        already buffered would keep draining at shifted positions.
+        """
+        self._latency_buffering = False
+
     # -- sending ---------------------------------------------------------------
 
     def send(self, message: Message) -> None:
@@ -172,9 +194,34 @@ class Network:
         stats.sent += 1
         kind = message.kind
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
-        delay = self.topology.latency.sample(
-            message.src.node, message.dst.node, self._rng
-        )
+        latency = self.topology.latency
+        sigma = latency.sigma
+        if sigma == 0.0:
+            delay = latency.sample(message.src.node, message.dst.node, self._rng)
+        else:
+            idx = self._latency_idx
+            units = self._latency_units
+            if idx < len(units):
+                unit = float(units[idx])
+                self._latency_idx = idx + 1
+            elif self.loss_probability == 0.0 and self._latency_buffering:
+                units = self._rng.lognormal(mean=0.0, sigma=sigma, size=512)
+                self._latency_units = units
+                self._latency_idx = 1
+                unit = float(units[0])
+            else:
+                # Lossy stream: loss draws interleave with latency draws,
+                # so drawing ahead here would shift them.  With no buffer
+                # outstanding this is exactly the legacy scalar sequence.
+                unit = float(self._rng.lognormal(mean=0.0, sigma=sigma))
+            median = (
+                latency.median_local_s
+                if message.src.node == message.dst.node
+                else latency.median_remote_s
+            )
+            delay = median * unit
+            if delay < latency.floor_s:
+                delay = latency.floor_s
         if message.src.node in self._dead:
             stats.dropped_dead_src += 1
             return

@@ -19,8 +19,11 @@ events per wall-second, and the per-event call overhead is measurable
 (see ``benchmarks/bench_kernel.py``).  Event constructors push onto the
 queue through the pre-bound ``engine._push`` rather than a scheduler
 method lookup.  Cancelled events (lazy deletion,
-:meth:`repro.sim.events.Timeout.cancel`) are discarded as they surface
-from the queue, without counting toward ``processed_events``.
+:meth:`repro.sim.events.Timeout.cancel`) are counted eagerly at cancel
+time -- :meth:`Engine._note_cancelled` -- and the scheduler drops their
+queue entries internally (at surfacing or in bulk routing/resize
+sweeps), so they never reach the dispatch loop and never count toward
+``processed_events``.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from __future__ import annotations
 from itertools import count
 from typing import Any, Callable, Generator, List, Optional, Union
 
-from repro.sim.config import SimConfig
+from repro.sim.config import DEFAULT_TICK_SLOTS, SimConfig, default_batched_ticks
 from repro.sim.events import (
     PRIORITY_NORMAL,
     AllOf,
@@ -95,6 +98,15 @@ class Engine:
     ) -> None:
         self._now = float(start_time)
         self._scheduler = _resolve_scheduler(scheduler)
+        #: Kernel execution-mode flags, read by agent builders (the
+        #: Penelope manager checks them to decide whether to drive its
+        #: deciders through a :class:`~repro.core.batcher.TickBatcher`).
+        if isinstance(scheduler, SimConfig):
+            self.batched_ticks = scheduler.effective_batched_ticks()
+            self.tick_slots = scheduler.tick_slots
+        else:
+            self.batched_ticks = default_batched_ticks()
+            self.tick_slots = DEFAULT_TICK_SLOTS
         #: Pre-bound enqueue -- the hottest call in the simulator; event
         #: constructors invoke it directly.
         self._push = self._scheduler.push
@@ -104,7 +116,7 @@ class Engine:
         #: and loop-progress assertions in tests).  Cancelled events are
         #: discarded without being processed and do not count.
         self.processed_events = 0
-        #: Cancelled queue entries discarded by lazy deletion.
+        #: Events cancelled while queued, counted at cancel time.
         self.cancelled_events = 0
 
     # -- clock -------------------------------------------------------------
@@ -173,19 +185,23 @@ class Engine:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         self._push((self._now + delay, priority, next(self._sequence), event))
 
-    def _discard_cancelled_head(self) -> None:
-        """Drop lazily-deleted entries off the front of the queue."""
-        self.cancelled_events += self._scheduler.discard_cancelled()
+    def _note_cancelled(self) -> None:
+        """Record a queued event's cancellation (called by ``cancel()``).
+
+        Counts the cancellation eagerly and tells the scheduler, whose
+        live ``len()`` excludes dead entries from this point on and
+        which compacts itself when dead entries pile up.
+        """
+        self.cancelled_events += 1
+        self._scheduler.note_cancelled()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        self._discard_cancelled_head()
         head = self._scheduler.peek()
         return head[0] if head is not None else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        self._discard_cancelled_head()
         item = self._scheduler.pop()
         if item is None:
             raise IndexError("step() on an empty event queue")
@@ -211,11 +227,10 @@ class Engine:
           its value (raising if it failed).
         """
         pop = self._scheduler.pop
-        # Counter updates are batched in locals and flushed in ``finally``:
-        # two instance-attribute read-modify-writes per event are measurable
+        # Counter updates are batched in a local and flushed in ``finally``:
+        # an instance-attribute read-modify-write per event is measurable
         # at paper scale.
         processed = 0
-        cancelled = 0
 
         if until is None:
             try:
@@ -224,8 +239,7 @@ class Engine:
                     if item is None:
                         break
                     when, _, _, event = item
-                    if event._cancelled:
-                        cancelled += 1
+                    if event._cancelled:  # pragma: no cover - scheduler drops these
                         continue
                     self._now = when
                     processed += 1
@@ -237,7 +251,6 @@ class Engine:
                         ) from exc
             finally:
                 self.processed_events += processed
-                self.cancelled_events += cancelled
             return None
 
         if isinstance(until, EventBase):
@@ -256,8 +269,7 @@ class Engine:
                             f"event queue drained before {stop_event!r} fired"
                         )
                     when, _, _, event = item
-                    if event._cancelled:
-                        cancelled += 1
+                    if event._cancelled:  # pragma: no cover - scheduler drops these
                         continue
                     self._now = when
                     processed += 1
@@ -274,7 +286,6 @@ class Engine:
                 return event.value
             finally:
                 self.processed_events += processed
-                self.cancelled_events += cancelled
 
         horizon = float(until)
         if horizon < self._now:
@@ -288,8 +299,7 @@ class Engine:
                 if item is None:
                     break
                 when, _, _, event = item
-                if event._cancelled:
-                    cancelled += 1
+                if event._cancelled:  # pragma: no cover - scheduler drops these
                     continue
                 self._now = when
                 processed += 1
@@ -301,7 +311,6 @@ class Engine:
                     ) from exc
         finally:
             self.processed_events += processed
-            self.cancelled_events += cancelled
         self._now = horizon
         return None
 

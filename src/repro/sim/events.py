@@ -55,9 +55,9 @@ class EventBase:
         # the exception at the top level unless the failure was "defused" by
         # being delivered into a process.
         self._defused = False
-        # Lazily-deleted queue entries (see Timeout.cancel): the engine
-        # discards cancelled events when they reach the front of the heap
-        # instead of processing them.
+        # Lazily-deleted queue entries (see Timeout.cancel): the
+        # scheduler drops cancelled events -- at the queue head or in a
+        # bulk sweep -- instead of ever surfacing them for processing.
         self._cancelled = False
 
     # -- state inspection ------------------------------------------------
@@ -192,20 +192,27 @@ class Timeout(EventBase):
     def cancel(self) -> None:
         """Abandon the timeout before it fires (lazy deletion).
 
-        The queue entry stays on the heap but is discarded -- uncounted
-        and without running callbacks -- when it surfaces, so cancelling
-        is O(1) instead of an O(n) heap removal.  Hot paths that arm a
+        The queue entry stays in the scheduler but never runs callbacks:
+        the scheduler drops it when it surfaces or sweeps it in bulk
+        during routing/resize passes, so cancelling is O(1) instead of
+        an O(n) heap removal.  The cancellation is *counted eagerly* --
+        ``engine.cancelled_events`` increments here, and the scheduler
+        is told so its live ``len()`` stays exact.  Hot paths that arm a
         deadline per request (e.g. the decider's bounded wait for a
         grant) use this to stop abandoned deadlines from churning the
         event loop at scale.
 
         Only the owner of a timeout may cancel it: any callbacks already
         registered (by conditions or waiting processes) will never run.
-        Cancelling an already-processed timeout is an error.
+        Cancelling twice is a no-op; cancelling an already-processed
+        timeout is an error.
         """
         if self.callbacks is None:
             raise RuntimeError(f"{self!r} has already been processed")
+        if self._cancelled:
+            return
         self._cancelled = True
+        self.engine._note_cancelled()
 
 
 class Callback(EventBase):
@@ -254,15 +261,19 @@ class Callback(EventBase):
     def cancel(self) -> None:
         """Abandon the callback before it fires (lazy deletion).
 
-        Same contract as :meth:`Timeout.cancel`: the queue entry is
-        discarded unprocessed when it surfaces, ``fn`` never runs, and
-        any waiters registered on the event are never notified.  Used by
-        the pool's escrow bookkeeping, where almost every refund deadline
-        is cancelled by the ack that beats it.
+        Same contract as :meth:`Timeout.cancel`: the entry is dropped
+        unprocessed (at surfacing or by a bulk sweep), ``fn`` never
+        runs, any waiters registered on the event are never notified,
+        and the cancellation is counted eagerly.  Used by the pool's
+        escrow bookkeeping, where almost every refund deadline is
+        cancelled by the ack that beats it.
         """
         if self.callbacks is None:
             raise RuntimeError(f"{self!r} has already been processed")
+        if self._cancelled:
+            return
         self._cancelled = True
+        self.engine._note_cancelled()
 
     def _process(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -315,6 +326,50 @@ class FirstOf(EventBase):
         else:
             event._defused = True
             self.fail(event._value)
+
+
+class InlineFirstOf(FirstOf):
+    """A :class:`FirstOf` that wakes its waiter synchronously on success
+    of its *first* sub-event, instead of via a queued completion event.
+
+    Used by the batched tick driver's request wait (grant-or-deadline):
+    the grant path -- a message hand-off whose event already carries the
+    sequence number fixing its position -- resumes the continuation in
+    place, saving one queue round-trip per granted request at scale.
+    Equivalence holds because processing order is a function of sequence
+    numbers assigned at *creation*: resuming early cannot move any
+    already-queued event, and the continuation's own state is node-local.
+
+    The *second* sub-event (the shared deadline) keeps the queued path:
+    its re-enqueue with a fresh sequence number is what makes a timeout
+    resolving exactly at a tick instant resume *after* that instant's
+    batch (see :mod:`repro.core.batcher`), so catch-up ticks stay ordered
+    behind batch ticks exactly like the per-node loop.  Sub-event
+    failures also stay queued (rare, and failure surfacing relies on the
+    engine's processing pass).
+    """
+
+    __slots__ = ("_first",)
+
+    def __init__(
+        self, engine: "Engine", first: EventBase, second: EventBase
+    ) -> None:
+        FirstOf.__init__(self, engine, first, second)
+        self._first = first
+
+    def _on_sub(self, event: EventBase) -> None:
+        if self._value is not _PENDING:
+            if not event._ok:
+                event._defused = True
+            return
+        if event is not self._first or not event._ok:
+            FirstOf._on_sub(self, event)
+            return
+        self._value = None
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(self)
 
 
 class ConditionValue:

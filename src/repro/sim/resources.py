@@ -101,6 +101,16 @@ class Store:
         self._get_name = f"{self.name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        #: When set, a put that finds a waiting getter completes the
+        #: getter's event synchronously instead of enqueueing it.  The
+        #: batched tick driver flags decider inboxes this way: the
+        #: hand-off event's queue hop is pure churn there (the waiting
+        #: continuation resumes with node-local work whose position is
+        #: already fixed by the delivering event), and one hop per grant
+        #: is measurable at sweep scale.  Default off: ordinary stores
+        #: keep the queued hand-off, which preserves the engine's
+        #: process-after-everything-already-queued semantics.
+        self.inline_handoff = False
         #: Counters for observability (drop rate is central to Fig. 5/7).
         self.total_put = 0
         self.total_dropped = 0
@@ -127,7 +137,18 @@ class Store:
         if self._getters:
             getter = self._getters.popleft()
             self.total_put += 1
-            getter.succeed(item)
+            if self.inline_handoff:
+                # Complete in place (see the attribute docstring): the
+                # getter was created untriggered, so only the succeed
+                # bookkeeping is needed, minus the queue round-trip.
+                getter._value = item
+                callbacks = getter.callbacks
+                getter.callbacks = None
+                assert callbacks is not None, "event processed twice"
+                for callback in callbacks:
+                    callback(getter)
+            else:
+                getter.succeed(item)
             return True
         if len(self._items) >= self.capacity:
             self.total_dropped += 1

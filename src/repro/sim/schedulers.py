@@ -5,7 +5,7 @@ The engine's queue of triggered events is a total order over
 two schedulers must surface exactly the same entries in exactly the same
 order, or a replayed simulation silently diverges.  The engine therefore
 talks to its queue only through the small :class:`Scheduler` interface
-(``push`` / ``pop`` / ``pop_due`` / ``peek`` / ``discard_cancelled``),
+(``push`` / ``pop`` / ``pop_due`` / ``peek`` / ``note_cancelled``),
 and ``tests/test_sim_scheduler_equivalence.py`` runs every
 implementation differentially against the reference heap.
 
@@ -33,8 +33,14 @@ lint rule R7 and the differential rig):
 * entries pushed while the queue is mid-drain (same simulated instant)
   sort behind already-queued entries at the same key only via their
   sequence number -- never via insertion phase or hash order;
-* cancelled entries surface exactly where the heap would surface them
-  (lazy deletion), so ``cancelled_events`` counts match.
+* cancelled entries never surface from ``pop`` / ``pop_due`` / ``peek``
+  and never count toward ``len()``.  Physically they are still lazily
+  deleted -- dropped when they reach the head or swept in bulk by
+  :meth:`Scheduler.note_cancelled`-triggered compaction -- but that
+  timing is internal: the scheduler keeps its *live* size exact via a
+  dead-entry counter, and compaction bounds held garbage to at most the
+  live entry count (cancellation storms cannot grow the queue without
+  bound, see ``tests/test_sim_scheduler_cancellation.py``).
 """
 
 from __future__ import annotations
@@ -92,17 +98,20 @@ class Scheduler:
         """The least entry without removing it, or ``None`` when empty."""
         raise NotImplementedError
 
-    def discard_cancelled(self) -> int:
-        """Drop lazily-cancelled entries off the head; return the count."""
-        discarded = 0
-        while True:
-            head = self.peek()
-            if head is None or not head[3]._cancelled:
-                return discarded
-            self.pop()
-            discarded += 1
+    def note_cancelled(self) -> None:
+        """Record that one *queued* entry was cancelled.
+
+        Called by ``Timeout.cancel`` / ``Callback.cancel`` (through
+        :meth:`Engine._note_cancelled`) exactly once per cancelled
+        entry.  Implementations decrement their live size immediately
+        and may compact -- physically dropping dead entries -- whenever
+        the dead fraction grows past half, which bounds memory held by
+        cancelled-but-unexpired entries at O(live).
+        """
+        raise NotImplementedError
 
     def __len__(self) -> int:
+        """Number of *live* (non-cancelled) queued entries."""
         raise NotImplementedError
 
 
@@ -114,39 +123,62 @@ class HeapScheduler(Scheduler):
     """
 
     name: ClassVar[str] = "heap"
-    __slots__ = ("_heap", "push")
+    __slots__ = ("_heap", "_dead", "push")
 
     def __init__(self) -> None:
         heap: List[QueueItem] = []
         self._heap = heap
+        #: Cancelled entries still physically on the heap.
+        self._dead = 0
         # C-level bound push: avoids a Python frame per enqueue on the
         # kernel's hottest path.
         self.push = partial(heappush, heap)
 
     def pop(self) -> Optional[QueueItem]:
         heap = self._heap
-        return heappop(heap) if heap else None
+        while heap:
+            item = heappop(heap)
+            if item[3]._cancelled:
+                self._dead -= 1
+                continue
+            return item
+        return None
 
     def pop_due(self, horizon: float) -> Optional[QueueItem]:
         heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heappop(heap)
+            self._dead -= 1
         if heap and heap[0][0] <= horizon:
             return heappop(heap)
         return None
 
     def peek(self) -> Optional[QueueItem]:
         heap = self._heap
-        return heap[0] if heap else None
-
-    def discard_cancelled(self) -> int:
-        heap = self._heap
-        discarded = 0
         while heap and heap[0][3]._cancelled:
             heappop(heap)
-            discarded += 1
-        return discarded
+            self._dead -= 1
+        return heap[0] if heap else None
+
+    def note_cancelled(self) -> None:
+        dead = self._dead + 1
+        self._dead = dead
+        if dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every dead entry in one O(n) pass.
+
+        Rebuilds in place: ``push`` is bound to the heap list, so the
+        list object must survive.
+        """
+        heap = self._heap
+        heap[:] = [item for item in heap if not item[3]._cancelled]
+        heapify(heap)
+        self._dead = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - self._dead
 
 
 #: Overflow entries carry their absolute day (bucket number) in front so
@@ -202,8 +234,8 @@ class CalendarQueueScheduler(Scheduler):
     SHRINK_PER_BUCKET = 0.25
     __slots__ = (
         "push", "_staging", "_buckets", "_overflow", "_n", "_width",
-        "_inv_width", "_base", "_day", "_limit", "_size", "_grow_at",
-        "_shrink_at", "_head_bucket",
+        "_inv_width", "_base", "_day", "_limit", "_size", "_dead",
+        "_grow_at", "_shrink_at", "_head_bucket",
     )
 
     def __init__(self, n_buckets: int = 8, width: float = 0.25) -> None:
@@ -238,9 +270,16 @@ class CalendarQueueScheduler(Scheduler):
         self._limit = n_buckets
         #: Scan position: all *routed* entries have ``day >= _day``.
         self._day = 0
-        #: Routed entries only; staged entries are counted via
-        #: ``len(self._staging)`` until the next routing pass.
+        #: Routed entries only (cancelled included until swept); staged
+        #: entries are counted via ``len(self._staging)`` until the next
+        #: routing pass.
         self._size = 0
+        #: Cancelled entries still physically held -- anywhere: staging,
+        #: a wheel bucket, or the overflow list.  Live size is
+        #: ``_size + len(_staging) - _dead``; sweeps decrement per entry
+        #: they actually drop, so the accounting holds no matter where a
+        #: dead entry sits or which pass removes it.
+        self._dead = 0
         #: Occupancy thresholds, precomputed so the per-event paths do no
         #: arithmetic (see GROW_PER_BUCKET / SHRINK_PER_BUCKET).
         self._grow_at = int(self.GROW_PER_BUCKET * n_buckets)
@@ -269,16 +308,24 @@ class CalendarQueueScheduler(Scheduler):
         is paid once.  Iteration is over the staging list's array order
         -- deterministic, and routing is order-independent because every
         entry's day is absolute.
+
+        Cancelled staged entries are swept here instead of routed: they
+        would otherwise park in buckets behind the head (or in the
+        overflow list) where only a resize walk could reclaim them.
         """
         staging = self._staging
+        live: List[QueueItem] = staging
+        if self._dead:
+            live = [item for item in staging if not item[3]._cancelled]
+            self._dead -= len(staging) - len(live)
         inv_width = self._inv_width
         try:
             # Day keys for the whole batch in one specialized
             # comprehension; the per-item try/except fallback only runs
             # when an infinite timestamp trips the fast path.
-            keyed = [(int(item[0] * inv_width), item) for item in staging]
+            keyed = [(int(item[0] * inv_width), item) for item in live]
         except OverflowError:
-            keyed = [(self._day_of(item[0]), item) for item in staging]
+            keyed = [(self._day_of(item[0]), item) for item in live]
         if keyed and min(keyed)[0] < self._base:
             # Rare: a staged entry predates the wheel's lap.  Possible
             # when an overflow jump moved the base past a paused run
@@ -286,7 +333,7 @@ class CalendarQueueScheduler(Scheduler):
             # and the new base.  Rebuild the wheel around the true
             # minimum instead of breaking the one-lap bijection.
             self._overflow.extend(keyed)
-            self._size += len(staging)
+            self._size += len(keyed)
             staging.clear()
             self._resize(self._n)
             return
@@ -308,7 +355,7 @@ class CalendarQueueScheduler(Scheduler):
                 heappush(overflow, entry)
         self._day = day_floor
         self._head_bucket = None
-        size = self._size + len(staging)
+        size = self._size + len(keyed)
         self._size = size
         staging.clear()
         if size > self._grow_at:
@@ -334,8 +381,8 @@ class CalendarQueueScheduler(Scheduler):
         """Advance the scan to the least entry and return it (not removed).
 
         Routes all staged entries first, so afterwards the wheel holds
-        the entire queue (used by peek / discard, which need the global
-        head; pop / pop_due avoid this full spill on their fast paths).
+        the entire queue (used by peek, which needs the global head;
+        pop / pop_due avoid this full spill on their fast paths).
         Draining staging before any overflow jump is also what makes the
         jump safe: with staging empty, nothing older than the overflow's
         first day can exist, so rebasing the lap there keeps the
@@ -388,58 +435,72 @@ class CalendarQueueScheduler(Scheduler):
         staging = self._staging
         if len(staging) > _staging_limit:
             self._route_staged()
-        bucket = self._head_bucket
-        if bucket is None and self._size:
-            buckets = self._buckets
-            n = self._n
-            day = self._day
-            limit = self._limit
-            while True:
-                while day < limit:
-                    head_bucket = buckets[day % n]
-                    if head_bucket:
-                        self._day = day
-                        self._head_bucket = bucket = head_bucket
+        while True:
+            # Re-read the cache each round: dropping a cancelled entry
+            # below may have emptied the head bucket or resized the wheel.
+            bucket = self._head_bucket
+            if bucket is None and self._size:
+                buckets = self._buckets
+                n = self._n
+                day = self._day
+                limit = self._limit
+                while True:
+                    while day < limit:
+                        head_bucket = buckets[day % n]
+                        if head_bucket:
+                            self._day = day
+                            self._head_bucket = bucket = head_bucket
+                            break
+                        day += 1
+                    if bucket is not None:
                         break
-                    day += 1
-                if bucket is not None:
-                    break
+                    if staging:
+                        # An overflow jump is only safe with staging drained
+                        # (see _find_head); route and rescan.
+                        self._route_staged()
+                        buckets = self._buckets
+                        n = self._n
+                        day = self._day
+                        limit = self._limit
+                        continue
+                    overflow = self._overflow
+                    assert overflow, "size/bucket bookkeeping diverged"
+                    day = overflow[0][0]
+                    limit = day + n
+                    self._base = day
+                    self._day = day
+                    self._limit = limit
+                    while overflow and overflow[0][0] < limit:
+                        entry = _heappop(overflow)  # type: ignore[arg-type]
+                        _heappush(buckets[entry[0] % n], entry[1])  # type: ignore[index]
+            if bucket is None:
                 if staging:
-                    # An overflow jump is only safe with staging drained
-                    # (see _find_head); route and rescan.
-                    self._route_staged()
-                    buckets = self._buckets
-                    n = self._n
-                    day = self._day
-                    limit = self._limit
-                    continue
-                overflow = self._overflow
-                assert overflow, "size/bucket bookkeeping diverged"
-                day = overflow[0][0]
-                limit = day + n
-                self._base = day
-                self._day = day
-                self._limit = limit
-                while overflow and overflow[0][0] < limit:
-                    entry = _heappop(overflow)  # type: ignore[arg-type]
-                    _heappush(buckets[entry[0] % n], entry[1])  # type: ignore[index]
-        if bucket is None:
+                    item = _heappop(staging)
+                    if item[3]._cancelled:
+                        self._dead -= 1
+                        continue
+                    return item
+                return None
+            wheel_item = bucket[0]
             if staging:
-                return _heappop(staging)
-            return None
-        wheel_item = bucket[0]
-        if staging:
-            staged = staging[0]
-            if staged < wheel_item:
-                return _heappop(staging)
-        _heappop(bucket)
-        if not bucket:
-            self._head_bucket = None
-        size = self._size - 1
-        self._size = size
-        if size < self._shrink_at and size and self._n > self.MIN_BUCKETS:
-            self._resize(max(self.MIN_BUCKETS, self._n // 2))
-        return wheel_item
+                staged = staging[0]
+                if staged < wheel_item:
+                    item = _heappop(staging)
+                    if item[3]._cancelled:
+                        self._dead -= 1
+                        continue
+                    return item
+            _heappop(bucket)
+            if not bucket:
+                self._head_bucket = None
+            size = self._size - 1
+            self._size = size
+            if size < self._shrink_at and size and self._n > self.MIN_BUCKETS:
+                self._resize(max(self.MIN_BUCKETS, self._n // 2))
+            if wheel_item[3]._cancelled:
+                self._dead -= 1
+                continue
+            return wheel_item
 
     def pop_due(
         self,
@@ -459,71 +520,119 @@ class CalendarQueueScheduler(Scheduler):
         staging = self._staging
         if len(staging) > _staging_limit:
             self._route_staged()
-        bucket = self._head_bucket
-        if bucket is None and self._size:
-            buckets = self._buckets
-            n = self._n
-            day = self._day
-            limit = self._limit
-            while True:
-                while day < limit:
-                    head_bucket = buckets[day % n]
-                    if head_bucket:
-                        self._day = day
-                        self._head_bucket = bucket = head_bucket
+        while True:
+            # Re-read the cache each round: dropping a cancelled entry
+            # below may have emptied the head bucket or resized the wheel.
+            bucket = self._head_bucket
+            if bucket is None and self._size:
+                buckets = self._buckets
+                n = self._n
+                day = self._day
+                limit = self._limit
+                while True:
+                    while day < limit:
+                        head_bucket = buckets[day % n]
+                        if head_bucket:
+                            self._day = day
+                            self._head_bucket = bucket = head_bucket
+                            break
+                        day += 1
+                    if bucket is not None:
                         break
-                    day += 1
-                if bucket is not None:
-                    break
-                if staging:
-                    # An overflow jump is only safe with staging drained
-                    # (see _find_head); route and rescan.
-                    self._route_staged()
-                    buckets = self._buckets
-                    n = self._n
-                    day = self._day
-                    limit = self._limit
-                    continue
-                # The wheel is empty up to its horizon: jump the scan to
-                # the overflow list's earliest day and migrate the next
-                # lap onto the wheel (see _find_head).
-                overflow = self._overflow
-                assert overflow, "size/bucket bookkeeping diverged"
-                day = overflow[0][0]
-                limit = day + n
-                self._base = day
-                self._day = day
-                self._limit = limit
-                while overflow and overflow[0][0] < limit:
-                    entry = _heappop(overflow)  # type: ignore[arg-type]
-                    _heappush(buckets[entry[0] % n], entry[1])  # type: ignore[index]
-        if bucket is None:
-            if staging and staging[0][0] <= horizon:
-                return _heappop(staging)
-            return None
-        wheel_item = bucket[0]
-        if staging:
-            staged = staging[0]
-            if staged < wheel_item:
-                if staged[0] > horizon:
-                    return None
-                return _heappop(staging)
-        if wheel_item[0] > horizon:
-            return None
-        _heappop(bucket)
-        if not bucket:
-            self._head_bucket = None
-        size = self._size - 1
-        self._size = size
-        if size < self._shrink_at and size and self._n > self.MIN_BUCKETS:
-            self._resize(max(self.MIN_BUCKETS, self._n // 2))
-        return wheel_item
+                    if staging:
+                        # An overflow jump is only safe with staging drained
+                        # (see _find_head); route and rescan.
+                        self._route_staged()
+                        buckets = self._buckets
+                        n = self._n
+                        day = self._day
+                        limit = self._limit
+                        continue
+                    # The wheel is empty up to its horizon: jump the scan to
+                    # the overflow list's earliest day and migrate the next
+                    # lap onto the wheel (see _find_head).
+                    overflow = self._overflow
+                    assert overflow, "size/bucket bookkeeping diverged"
+                    day = overflow[0][0]
+                    limit = day + n
+                    self._base = day
+                    self._day = day
+                    self._limit = limit
+                    while overflow and overflow[0][0] < limit:
+                        entry = _heappop(overflow)  # type: ignore[arg-type]
+                        _heappush(buckets[entry[0] % n], entry[1])  # type: ignore[index]
+            if bucket is None:
+                if staging and staging[0][0] <= horizon:
+                    item = _heappop(staging)
+                    if item[3]._cancelled:
+                        self._dead -= 1
+                        continue
+                    return item
+                return None
+            wheel_item = bucket[0]
+            if staging:
+                staged = staging[0]
+                if staged < wheel_item:
+                    if staged[0] > horizon:
+                        return None
+                    item = _heappop(staging)
+                    if item[3]._cancelled:
+                        self._dead -= 1
+                        continue
+                    return item
+            if wheel_item[0] > horizon:
+                return None
+            _heappop(bucket)
+            if not bucket:
+                self._head_bucket = None
+            size = self._size - 1
+            self._size = size
+            if size < self._shrink_at and size and self._n > self.MIN_BUCKETS:
+                self._resize(max(self.MIN_BUCKETS, self._n // 2))
+            if wheel_item[3]._cancelled:
+                self._dead -= 1
+                continue
+            return wheel_item
 
     def peek(self) -> Optional[QueueItem]:
-        return self._find_head()
+        while True:
+            head = self._find_head()
+            if head is None or not head[3]._cancelled:
+                return head
+            # Drop the cancelled head (it is _head_bucket[0]: _find_head
+            # routed staging first, so the head lives on the wheel).
+            bucket = self._head_bucket
+            assert bucket is not None, "head cache diverged from _find_head"
+            heappop(bucket)
+            if not bucket:
+                self._head_bucket = None
+            self._size -= 1
+            self._dead -= 1
+
+    def note_cancelled(self) -> None:
+        dead = self._dead + 1
+        self._dead = dead
+        if dead * 2 > self._size + len(self._staging):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep every dead entry -- staging in place, wheel via resize.
+
+        The staging list object must survive (``push`` is bound to it);
+        the wheel walk reuses :meth:`_resize`, which drops cancelled
+        entries while rebuilding at the current bucket count.
+        """
+        staging = self._staging
+        if staging:
+            live = [item for item in staging if not item[3]._cancelled]
+            if len(live) != len(staging):
+                self._dead -= len(staging) - len(live)
+                staging[:] = live
+                heapify(staging)
+        self._resize(self._n)
 
     def __len__(self) -> int:
-        return self._size + len(self._staging)
+        return self._size + len(self._staging) - self._dead
 
     # -- resizing -----------------------------------------------------------
 
@@ -549,6 +658,15 @@ class CalendarQueueScheduler(Scheduler):
         # entries, so per-bucket overhead is per-entry overhead).
         items: List[QueueItem] = list(chain.from_iterable(self._buckets))
         items.extend(entry[1] for entry in self._overflow)
+        if self._dead:
+            # The resize already walks every routed entry, so sweeping
+            # cancelled ones here is free -- and it is what reclaims dead
+            # entries parked in buckets behind the scan head, which no
+            # pop path would reach until their day came up.
+            live = [item for item in items if not item[3]._cancelled]
+            self._dead -= len(items) - len(live)
+            items = live
+        self._size = len(items)
         times = [item[0] for item in items]
         self._width = self._estimate_width(times)
         inv_width = 1.0 / self._width
@@ -563,7 +681,9 @@ class CalendarQueueScheduler(Scheduler):
             days = [int(t * inv_width) for t in times]
         except OverflowError:
             days = [self._day_of(t) for t in times]
-        base = min(days)
+        # A sweep may leave nothing routed (cancellation storm drained
+        # the wheel); park the lap at the current scan day.
+        base = min(days) if days else self._day
         limit = base + n_new
         self._base = base
         self._day = base

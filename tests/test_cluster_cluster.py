@@ -72,6 +72,18 @@ class TestRunToCompletion:
             node.executor.finished_at for node in cluster.compute_nodes()
         )
 
+    def test_livelock_guard_is_cancelled_after_completion(self):
+        # The unfired time-limit guard must not survive the run: a later
+        # drain of the same engine would otherwise leap the clock to the
+        # guard's far-future expiry.
+        engine, cluster = make_cluster(n=2)
+        assignment = assign_pair_to_cluster(("EP", "DC"), range(2), scale=0.05)
+        cluster.install_assignment(assignment)
+        runtime = cluster.run_to_completion(time_limit_s=1e7)
+        engine.run()
+        assert engine.now < 1e7
+        assert engine.now >= runtime
+
     def test_auto_start_can_be_disabled(self):
         engine, cluster = make_cluster(n=2)
         assignment = assign_pair_to_cluster(("EP", "DC"), range(2), scale=0.05)

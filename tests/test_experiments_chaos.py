@@ -27,6 +27,7 @@ from repro.experiments.chaos import (
     run_chaos_sweep,
 )
 from repro.experiments.serialize import canonical_json
+from repro.sim.config import SimConfig
 
 SMOKE = ChaosSpec(
     n_clients=4,
@@ -188,6 +189,9 @@ class TestPinnedChaosDeterminism:
         # flaps and loss bursts cancel in-flight events, which is the
         # queue shape the nominal fixtures never exercise.  Every
         # registered scheduler must replay the storm byte-for-byte.
+        # Batching is pinned off: the fixture bytes encode the staggered
+        # per-node trajectory, which the batcher only approximates (the
+        # CI matrix leg exports REPRO_BATCHED_TICKS=1).
         import importlib.util
         import pathlib
 
@@ -200,7 +204,9 @@ class TestPinnedChaosDeterminism:
         spec_module.loader.exec_module(module)
         assert module.CHAOS_FIXTURE_SPEC == SMOKE
         expected = (fixtures / f"{module.CHAOS_FIXTURE_NAME}.json").read_text()
-        data = chaos_result_to_dict(run_chaos_single(SMOKE))
+        data = chaos_result_to_dict(
+            run_chaos_single(SMOKE, sim=SimConfig(batched_ticks=False))
+        )
         assert canonical_json(data) + "\n" == expected
 
 

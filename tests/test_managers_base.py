@@ -31,6 +31,29 @@ class TestManagerConfig:
         assert fast.period_s == 0.1
         assert fast.timeout_s == 0.1
 
+    def test_with_period_preserves_explicit_timeout(self):
+        # Regression: with_period used to reset response_timeout_s=None,
+        # silently discarding a caller's explicit override.
+        fast = ManagerConfig(response_timeout_s=0.25).with_period(0.1)
+        assert fast.period_s == 0.1
+        assert fast.response_timeout_s == 0.25
+        assert fast.timeout_s == 0.25
+
+    def test_with_period_rederives_derived_timeout(self):
+        # A derived timeout (None) must keep following the period.
+        fast = ManagerConfig().with_period(0.1)
+        assert fast.response_timeout_s is None
+        assert fast.timeout_s == 0.1
+
+    def test_penelope_with_period_preserves_explicit_timeout(self):
+        from repro.core.config import PenelopeConfig
+
+        fast = PenelopeConfig(response_timeout_s=0.25).with_period(0.1)
+        assert isinstance(fast, PenelopeConfig)
+        assert fast.timeout_s == 0.25
+        # The derived escrow deadline follows the preserved timeout.
+        assert fast.effective_escrow_timeout_s == 2.0 * (0.25 + 0.1)
+
     def test_effective_stagger(self):
         assert ManagerConfig().effective_stagger_s == 1.0
         assert ManagerConfig(stagger_start=False).effective_stagger_s == 0.0

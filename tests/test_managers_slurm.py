@@ -59,6 +59,10 @@ class TestConfig:
         assert fast.period_s == 0.05
         assert fast.rate_scheme == SlurmConfig().rate_scheme
 
+    def test_with_period_preserves_explicit_timeout(self):
+        fast = SlurmConfig(response_timeout_s=0.2).with_period(0.05)
+        assert fast.timeout_s == 0.2
+
 
 class TestTopologyWiring:
     def test_server_gets_dedicated_node(self):

@@ -22,6 +22,7 @@ container for it.  These tests enforce the contract differentially:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -44,12 +45,19 @@ from repro.sim.schedulers import (
 
 
 class _FakeEvent:
-    """Just enough of EventBase for a scheduler: a cancellation flag."""
+    """Just enough of EventBase for a scheduler: a cancellation flag.
 
-    __slots__ = ("_cancelled", "tag")
+    ``popped`` tracks whether the entry already left the queue, so the
+    workload only cancels *queued* entries -- mirroring the engine,
+    where ``cancel()`` raises once an event has been processed and
+    ``note_cancelled`` therefore fires exactly once per queued entry.
+    """
+
+    __slots__ = ("_cancelled", "popped", "tag")
 
     def __init__(self, tag: int) -> None:
         self._cancelled = False
+        self.popped = False
         self.tag = tag
 
 
@@ -67,7 +75,6 @@ _ops = st.lists(
         st.tuples(st.just("pop_due"), _delays, st.just(0)),
         st.tuples(st.just("peek"), st.just(0), st.just(0)),
         st.tuples(st.just("cancel"), st.integers(0, 200), st.just(0)),
-        st.tuples(st.just("discard"), st.just(0), st.just(0)),
     ),
     min_size=1,
     max_size=200,
@@ -95,19 +102,23 @@ def _run_ops(scheduler, ops):
             item = scheduler.pop()
             if item is not None:
                 now = item[0]
+                item[3].popped = True
             transcript.append(("pop", _key(item)))
         elif op == "pop_due":
             horizon = now + arg
             item = scheduler.pop_due(horizon)
+            if item is not None:
+                item[3].popped = True
             now = item[0] if item is not None else horizon
             transcript.append(("pop_due", _key(item)))
         elif op == "peek":
             transcript.append(("peek", _key(scheduler.peek())))
         elif op == "cancel":
             if events:
-                events[arg % len(events)]._cancelled = True
-        elif op == "discard":
-            transcript.append(("discard", scheduler.discard_cancelled()))
+                event = events[arg % len(events)]
+                if not event.popped and not event._cancelled:
+                    event._cancelled = True
+                    scheduler.note_cancelled()
         transcript.append(("len", len(scheduler)))
     # Drain what is left so every queued entry's position is compared.
     while True:
@@ -121,6 +132,8 @@ def _key(item):
     if item is None:
         return None
     time, priority, sequence, event = item
+    # The final field doubles as an assertion: surfaced entries are
+    # never cancelled under the eager-accounting contract.
     return (time, priority, sequence, event.tag, event._cancelled)
 
 
@@ -152,6 +165,178 @@ class TestSchedulerDifferential:
         order_heap = [heap.pop()[2] for _ in range(3)]
         order_cal = [calendar.pop()[2] for _ in range(3)]
         assert order_cal == order_heap == [1, 0, 2]
+
+
+def _drain_via(scheduler, via):
+    """Drain a scheduler through one specific dequeue entry point.
+
+    ``pop`` and ``pop_due`` are deliberately duplicated code paths in
+    the calendar queue; driving each separately pins both copies of the
+    overflow-jump and shrink logic.
+    """
+    out = []
+    if via == "pop":
+        while True:
+            item = scheduler.pop()
+            if item is None:
+                return out
+            out.append(_key(item))
+    horizon = 0.0
+    while True:
+        item = scheduler.pop_due(horizon)
+        if item is None:
+            if not len(scheduler):
+                return out
+            # Step the horizon without consulting the queue, like a
+            # run(until=...) ladder would.
+            horizon += 7.3
+            continue
+        out.append(_key(item))
+
+
+class TestCalendarLapBoundary:
+    """Pin the overflow-jump lap boundary: ``limit = day + n`` exactly.
+
+    After the wheel drains, the scan jumps its lap to the overflow's
+    earliest day ``d`` and migrates entries with ``day < d + n`` onto
+    the wheel.  An entry whose day is *exactly* ``d + n`` must stay in
+    overflow (the wheel's bijection covers one lap, half-open) and
+    surface only after the following jump -- an off-by-one that neither
+    entry point may drift on while the two stay hand-duplicated.
+    """
+
+    #: Wheel geometry chosen so day == int(time): n=8, width=1.0, and
+    #: few enough entries that no grow-resize re-derives the width.
+    N = 8
+
+    def _boundary_queue(self):
+        calendar = CalendarQueueScheduler(n_buckets=self.N, width=1.0)
+        heap = HeapScheduler()
+        times = [
+            0.0, 1.0, 2.0,          # near lap [0, 8): anchors the wheel
+            100.0, 103.5, 107.0,    # first far lap [100, 108)
+            107.99,                 # last on-wheel day of that lap
+            108.0,                  # exactly at limit -> stays in overflow
+            115.0,                  # second lap [108, 116)
+            116.0,                  # exactly at the second lap's limit
+        ]
+        for sequence, time in enumerate(times):
+            item = (time, 1, sequence, _FakeEvent(sequence))
+            calendar.push(item)
+            heap.push(item)
+        return calendar, heap, times
+
+    @pytest.mark.parametrize("via", ["pop", "pop_due"])
+    def test_exact_limit_entry_waits_one_more_lap(self, via):
+        calendar, heap, times = self._boundary_queue()
+        # Route staging up front (peek spills it) so the lap jumps
+        # happen inside pop/pop_due's own scan, not in _find_head.
+        assert calendar.peek() == heap.peek()
+        drained = _drain_via(calendar, via)
+        assert drained == _drain_via(heap, via)
+        assert [key[0] for key in drained] == sorted(times)
+        # The final lap must have been rebased onto the boundary day
+        # (116 surfaced via its own jump, not an early migration).
+        assert calendar._base == 116
+        assert calendar._limit == 116 + self.N
+
+    @pytest.mark.parametrize("via", ["pop", "pop_due"])
+    def test_mid_drain_jump_lands_on_boundary_day(self, via):
+        calendar, _, _ = self._boundary_queue()
+        assert calendar.peek() is not None
+        # Drain the near lap plus the whole first far lap: the next
+        # dequeue's jump must rebase at exactly day 108 (the entry that
+        # sat at the previous lap's limit).
+        for _ in range(7):
+            item = calendar.pop() if via == "pop" else calendar.pop_due(_INF_TIME)
+            assert item is not None
+        assert (calendar._base, calendar._limit) == (100, 108)
+        boundary = calendar.pop() if via == "pop" else calendar.pop_due(_INF_TIME)
+        assert boundary is not None and boundary[0] == 108.0
+        assert (calendar._base, calendar._limit) == (108, 116)
+
+    @given(
+        deltas=st.lists(st.integers(0, 24), min_size=1, max_size=12),
+        via=st.sampled_from(["pop", "pop_due"]),
+        jump_base=st.integers(9, 400),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_boundary_grid_matches_heap(self, deltas, via, jump_base):
+        # Integer day grid spanning three laps past a jump target, so
+        # exact multiples of the lap length (8, 16, 24) land exactly on
+        # successive ``limit`` values whenever present.
+        calendar = CalendarQueueScheduler(n_buckets=self.N, width=1.0)
+        heap = HeapScheduler()
+        items = [(0.0, 1, 0, _FakeEvent(0))]
+        for sequence, delta in enumerate(deltas, start=1):
+            items.append(
+                (float(jump_base + delta), 1, sequence, _FakeEvent(sequence))
+            )
+        for item in items:
+            calendar.push(item)
+            heap.push(item)
+        assert calendar.peek() == heap.peek()
+        assert _drain_via(calendar, via) == _drain_via(heap, via)
+
+
+_INF_TIME = float("inf")
+
+
+class TestCalendarShrinkResize:
+    """Pin the shrink-resize path under both dequeue entry points.
+
+    Growing routes in bulk; shrinking happens one entry at a time as a
+    drain crosses ``SHRINK_PER_BUCKET`` occupancy, re-deriving the
+    bucket width from the surviving entries.  Both hand-duplicated
+    dequeues carry the shrink check, so both must walk the full ladder
+    down to MIN_BUCKETS without perturbing the pop order.
+    """
+
+    @pytest.mark.parametrize("via", ["pop", "pop_due"])
+    def test_shrink_ladder_preserves_order(self, via):
+        calendar = CalendarQueueScheduler()
+        heap = HeapScheduler()
+        # > STAGING_LIMIT entries so the first dequeue bulk-routes and
+        # grows the wheel well past MIN_BUCKETS.
+        for sequence in range(200):
+            item = (sequence * 0.25, 1, sequence, _FakeEvent(sequence))
+            calendar.push(item)
+            heap.push(item)
+        assert _drain_via(calendar, via) == _drain_via(heap, via)
+        # The drain crossed every shrink threshold on the way down.
+        assert calendar._n == CalendarQueueScheduler.MIN_BUCKETS
+
+    @pytest.mark.parametrize("via", ["pop", "pop_due"])
+    def test_shrink_with_interleaved_pushes_matches_heap(self, via):
+        calendar = CalendarQueueScheduler()
+        heap = HeapScheduler()
+        sequence = 0
+        for sequence in range(160):
+            item = (sequence * 0.5, 1, sequence, _FakeEvent(sequence))
+            calendar.push(item)
+            heap.push(item)
+        transcript_cal, transcript_heap = [], []
+        # Drain in bursts with fresh pushes between them: shrinks and
+        # re-grows interleave, and late pushes land below the scan day.
+        for _burst in range(8):
+            for _ in range(18):
+                item_cal = (
+                    calendar.pop() if via == "pop" else calendar.pop_due(_INF_TIME)
+                )
+                item_heap = heap.pop() if via == "pop" else heap.pop_due(_INF_TIME)
+                transcript_cal.append(_key(item_cal))
+                transcript_heap.append(_key(item_heap))
+                if item_cal is None or item_heap is None:
+                    break
+            # Keep both sides in lockstep burst by burst.
+            assert transcript_cal == transcript_heap
+            now = 0.0 if transcript_cal[-1] is None else transcript_cal[-1][0]
+            for extra in range(4):
+                sequence += 1
+                item = (now + extra * 3.0, 1, sequence, _FakeEvent(sequence))
+                calendar.push(item)
+                heap.push(item)
+        assert _drain_via(calendar, via) == _drain_via(heap, via)
 
 
 # ---------------------------------------------------------------------------

@@ -227,7 +227,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write per-seed detector metrics JSON to this path",
     )
+    chaos.add_argument(
+        "--duplicate-bursts",
+        type=int,
+        default=0,
+        help="timed message-duplication bursts",
+    )
+    chaos.add_argument(
+        "--reorder-bursts",
+        type=int,
+        default=0,
+        help="timed reordering-window bursts (latency inversions)",
+    )
+    chaos.add_argument(
+        "--clock-drifts",
+        type=int,
+        default=0,
+        help="nodes whose local clocks drift mid-run",
+    )
+    chaos.add_argument(
+        "--slow-nodes",
+        type=int,
+        default=0,
+        help="gray-slow node windows (per-node latency multiplier)",
+    )
     _add_runner_args(chaos)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="shrinking chaos fuzzer: search fault schedules for invariant breaks",
+    )
+    fuzz.add_argument(
+        "--trials", type=int, default=25, help="random schedules to try"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    fuzz.add_argument(
+        "--duration", type=float, default=20.0, help="simulated seconds per trial"
+    )
+    fuzz.add_argument(
+        "--clients-max", type=int, default=10, help="largest sampled cluster"
+    )
+    fuzz.add_argument(
+        "--max-shrink-runs",
+        type=int,
+        default=40,
+        help="chaos-run budget for delta-debugging one violation",
+    )
+    fuzz.add_argument(
+        "--invariants",
+        nargs="+",
+        default=None,
+        help="invariant names to arm (default: the production set)",
+    )
+    fuzz.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "arm the deliberately-breakable selftest invariant to prove "
+            "the find-and-shrink loop end to end"
+        ),
+    )
+    fuzz.add_argument(
+        "--out",
+        default="fuzz-repro.json",
+        help="where to write the minimized repro on violation",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay a repro file instead of fuzzing",
+    )
 
     from repro.experiments import bench as _bench
 
@@ -403,6 +473,10 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
                 partitions=args.partitions,
                 enable_membership=args.membership,
                 membership_probe_period_s=args.probe_period,
+                duplicate_bursts=args.duplicate_bursts,
+                reorder_bursts=args.reorder_bursts,
+                clock_drifts=args.clock_drifts,
+                slow_nodes=args.slow_nodes,
             ),
             **runner_kwargs,
         )
@@ -416,6 +490,63 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 json.dump(metrics, handle, indent=2, sort_keys=True)
             print(f"[detector metrics written to {args.metrics_out}]", file=sys.stderr)
+    elif args.command == "fuzz":
+        from repro.experiments import fuzz as fuzz_mod
+
+        if args.replay is not None:
+            repro = fuzz_mod.load_repro(args.replay)
+            reproduced, violations = fuzz_mod.replay_repro(repro)
+            expected = repro["violation"]["invariant"]
+            if reproduced is not None:
+                print(
+                    f"reproduced: {reproduced.invariant} at "
+                    f"t={reproduced.time:.3f}s -- {reproduced.message}"
+                )
+                return 0
+            print(
+                f"FAILED to reproduce {expected!r} "
+                f"({len(violations)} other violation(s) observed)"
+            )
+            return 1
+        config = fuzz_mod.FuzzConfig(
+            trials=args.trials,
+            master_seed=args.seed,
+            duration_s=args.duration,
+            clients_max=args.clients_max,
+            max_shrink_runs=args.max_shrink_runs,
+            invariants=tuple(args.invariants) if args.invariants else None,
+            self_test=args.self_test,
+        )
+        report = fuzz_mod.run_fuzz(config)
+        print(fuzz_mod.format_fuzz(report))
+        if report.repro is not None:
+            fuzz_mod.write_repro(report.repro, args.out)
+            print(f"[repro written to {args.out}]", file=sys.stderr)
+        if args.self_test:
+            # Success = the plumbing worked end to end: found the seeded
+            # violation, shrank it to at most two faults, and the repro
+            # file replays deterministically.
+            if report.repro is None:
+                print("[self-test] FAIL: no violation found", file=sys.stderr)
+                return 1
+            if report.repro["fault_count"] > 2:
+                print(
+                    "[self-test] FAIL: shrunk schedule still has "
+                    f"{report.repro['fault_count']} faults (> 2)",
+                    file=sys.stderr,
+                )
+                return 1
+            reproduced, _ = fuzz_mod.replay_repro(report.repro)
+            if reproduced is None:
+                print("[self-test] FAIL: repro did not replay", file=sys.stderr)
+                return 1
+            print(
+                "[self-test] OK: found, shrunk to "
+                f"{report.repro['fault_count']} fault(s), replayed",
+                file=sys.stderr,
+            )
+            return 0
+        return 1 if report.violation_found else 0
     elif args.command == "bench":
         from pathlib import Path
 

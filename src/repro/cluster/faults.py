@@ -4,6 +4,15 @@ The paper's faulty-environment experiment (§4.4) kills nodes and waits;
 the chaos harness layers churn on top -- crashed nodes restart, links
 flap, and the fabric's loss rate spikes in timed bursts -- so the
 reliable-transfer layer can be audited under the full failure taxonomy.
+
+The adversarial families extend the taxonomy beyond crashes and drops:
+**duplication bursts** deliver messages twice (same ``msg_id``),
+**reordering bursts** add latency-inversion jitter, **clock drift**
+stretches or compresses one node's decider/detector timers, and
+**gray-slow nodes** multiply one node's network latency without killing
+it.  All four are default-off and draw from dedicated RNG streams
+(``net.faults.*``), so plans without them replay byte-identically to
+plans from before the families existed.
 """
 
 from __future__ import annotations
@@ -150,6 +159,119 @@ def loss_burst_at(
     return engine.process(_burst(), name=f"fault.loss-burst[{probability:g}]")
 
 
+def duplicate_burst_at(
+    cluster: Cluster,
+    probability: float,
+    at_time_s: float,
+    duration_s: float,
+) -> Process:
+    """Schedule a duplication burst: each message sent during the window
+    is delivered twice with ``probability``.
+
+    The duplicate carries the same ``msg_id`` -- the adversarial input
+    for at-most-once grant application and escrow settlement.  Draws come
+    from the dedicated ``net.faults.duplicate`` stream, so arming the
+    burst never shifts latency or loss draw positions.  Like loss bursts,
+    overlapping windows do not stack: each window's end disarms the
+    fault.
+    """
+    if duration_s <= 0:
+        raise ValueError("burst duration must be positive")
+    engine = cluster.engine
+    network = cluster.network
+    rng = cluster.rngs.stream("net.faults.duplicate")
+
+    def _burst() -> Generator[EventBase, Any, None]:
+        if at_time_s > engine.now:
+            yield engine.timeout(at_time_s - engine.now)
+        network.enable_duplication(probability, rng)
+        yield engine.timeout(duration_s)
+        network.disable_duplication()
+
+    return engine.process(_burst(), name=f"fault.dup-burst[{probability:g}]")
+
+
+def reorder_burst_at(
+    cluster: Cluster,
+    window_s: float,
+    at_time_s: float,
+    duration_s: float,
+) -> Process:
+    """Schedule a reordering burst: messages sent during the window get
+    uniform extra delay in ``[0, window_s)``, inverting arrival order
+    between messages sent close together.
+
+    Draws come from the dedicated ``net.faults.reorder`` stream.
+    Overlapping windows do not stack: each window's end disarms the
+    fault.
+    """
+    if duration_s <= 0:
+        raise ValueError("burst duration must be positive")
+    engine = cluster.engine
+    network = cluster.network
+    rng = cluster.rngs.stream("net.faults.reorder")
+
+    def _burst() -> Generator[EventBase, Any, None]:
+        if at_time_s > engine.now:
+            yield engine.timeout(at_time_s - engine.now)
+        network.enable_reordering(window_s, rng)
+        yield engine.timeout(duration_s)
+        network.disable_reordering()
+
+    return engine.process(_burst(), name=f"fault.reorder-burst[{window_s:g}]")
+
+
+def clock_drift_at(
+    cluster: Cluster,
+    manager: "PowerManager",
+    node_id: int,
+    rate: float,
+    at_time_s: float,
+) -> Process:
+    """Schedule clock drift on ``node_id``: from ``at_time_s`` on, the
+    node's local timers run scaled by ``1 + rate``.
+
+    Positive rates make the node's clock *slow* (its periods stretch, it
+    ticks and probes late); negative rates make it fast.  The drift goes
+    through the manager (like restarts), which scales the node's decider
+    and detector timers and keeps the scale across crash-restarts.
+    """
+    return run_callable_at(
+        cluster.engine,
+        at_time_s,
+        lambda: manager.set_clock_drift(node_id, rate),
+        name=f"fault.clock-drift[{node_id}]",
+    )
+
+
+def slow_node_at(
+    cluster: Cluster,
+    node_id: int,
+    factor: float,
+    at_time_s: float,
+    duration_s: Optional[float] = None,
+) -> Process:
+    """Schedule a gray-slow node: every message ``node_id`` sends or
+    receives takes ``factor``x longer, from ``at_time_s`` until
+    ``duration_s`` later (or the end of the run when ``None``).
+
+    The node stays alive and correct -- the degraded-but-not-dead case
+    failure detectors chronically mis-classify.
+    """
+    engine = cluster.engine
+    network = cluster.network
+
+    def _slow() -> Generator[EventBase, Any, None]:
+        if at_time_s > engine.now:
+            yield engine.timeout(at_time_s - engine.now)
+        network.set_node_slowdown(node_id, factor)
+        if duration_s is not None:
+            yield engine.timeout(duration_s)
+            network.clear_node_slowdown(node_id)
+
+    return engine.process(_slow(), name=f"fault.slow-node[{node_id}]")
+
+
 @dataclass
 class FaultPlan:
     """A declarative set of faults applied to a cluster.
@@ -166,12 +288,22 @@ class FaultPlan:
         ``(isolated_ids, at_time_s, down_s, up_s, cycles)`` tuples.
     loss_bursts:
         ``(probability, at_time_s, duration_s)`` triples.
+    duplicate_bursts:
+        ``(probability, at_time_s, duration_s)`` triples.
+    reorder_bursts:
+        ``(window_s, at_time_s, duration_s)`` triples.
+    clock_drifts:
+        ``(node_id, rate, at_time_s)`` triples; require a manager at
+        install time (the manager owns the node's timers).
+    slow_nodes:
+        ``(node_id, factor, at_time_s, duration_s_or_None)`` tuples.
 
     Ordering contract
     -----------------
     :meth:`install` arms faults in **declaration order, not time order**:
     category by category (kills, then partitions, restarts, flaps, loss
-    bursts), list order within each category.  Because the engine breaks
+    bursts, duplicate bursts, reorder bursts, clock drifts, slow nodes),
+    list order within each category.  Because the engine breaks
     timestamp ties by trigger sequence, faults scheduled for the same
     instant *fire* in exactly that arming order -- e.g. a kill and a
     partition both at t=5 apply the kill first.  Callers who need a
@@ -189,6 +321,12 @@ class FaultPlan:
         default_factory=list
     )
     loss_bursts: List[Tuple[float, float, float]] = field(default_factory=list)
+    duplicate_bursts: List[Tuple[float, float, float]] = field(default_factory=list)
+    reorder_bursts: List[Tuple[float, float, float]] = field(default_factory=list)
+    clock_drifts: List[Tuple[int, float, float]] = field(default_factory=list)
+    slow_nodes: List[Tuple[int, float, float, Optional[float]]] = field(
+        default_factory=list
+    )
 
     def kill(self, node_id: int, at_time_s: float) -> "FaultPlan":
         if at_time_s < 0:
@@ -245,6 +383,62 @@ class FaultPlan:
         self.loss_bursts.append((probability, at_time_s, duration_s))
         return self
 
+    def duplicate_burst(
+        self, probability: float, at_time_s: float, duration_s: float
+    ) -> "FaultPlan":
+        """Deliver messages twice with ``probability`` for ``duration_s``."""
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if not (0.0 <= probability < 1.0):
+            raise ValueError(
+                f"duplication probability out of [0, 1): {probability!r}"
+            )
+        if duration_s <= 0:
+            raise ValueError("burst duration must be positive")
+        self.duplicate_bursts.append((probability, at_time_s, duration_s))
+        return self
+
+    def reorder_burst(
+        self, window_s: float, at_time_s: float, duration_s: float
+    ) -> "FaultPlan":
+        """Jitter message latency by up to ``window_s`` for ``duration_s``."""
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if window_s <= 0:
+            raise ValueError(f"reorder window must be positive: {window_s!r}")
+        if duration_s <= 0:
+            raise ValueError("burst duration must be positive")
+        self.reorder_bursts.append((window_s, at_time_s, duration_s))
+        return self
+
+    def clock_drift(
+        self, node_id: int, rate: float, at_time_s: float
+    ) -> "FaultPlan":
+        """Scale ``node_id``'s local timers by ``1 + rate`` from ``at_time_s``."""
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if 1.0 + rate <= 0.0:
+            raise ValueError(f"drift rate must keep the clock running: {rate!r}")
+        self.clock_drifts.append((node_id, rate, at_time_s))
+        return self
+
+    def slow_node(
+        self,
+        node_id: int,
+        factor: float,
+        at_time_s: float,
+        duration_s: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Multiply ``node_id``'s network latency by ``factor`` (gray-slow)."""
+        if at_time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive: {factor!r}")
+        if duration_s is not None and duration_s <= 0:
+            raise ValueError("slowdown duration must be positive")
+        self.slow_nodes.append((node_id, factor, at_time_s, duration_s))
+        return self
+
     # -- ground truth for detector metrics -----------------------------------
 
     def dead_intervals(self, horizon_s: float) -> List[Tuple[int, float, float]]:
@@ -296,6 +490,10 @@ class FaultPlan:
             or self.restarts
             or self.flaps
             or self.loss_bursts
+            or self.duplicate_bursts
+            or self.reorder_bursts
+            or self.clock_drifts
+            or self.slow_nodes
         )
 
     def install(
@@ -306,10 +504,14 @@ class FaultPlan:
         Arming order is the declaration order documented on the class
         (category, then list position) -- same-instant faults fire in
         that order.  Restarts go through ``manager.revive_node`` and
-        therefore require ``manager``.
+        clock drifts through ``manager.set_clock_drift``, so both require
+        ``manager``.
         """
-        if self.restarts and manager is None:
-            raise ValueError("fault plan contains restarts; install needs a manager")
+        if (self.restarts or self.clock_drifts) and manager is None:
+            raise ValueError(
+                "fault plan contains restarts or clock drifts; "
+                "install needs a manager"
+            )
         if self.loss_bursts:
             # Loss draws will interleave with latency draws on the
             # network's stream; pre-drawn latency factors would shift
@@ -334,5 +536,22 @@ class FaultPlan:
         processes += [
             loss_burst_at(cluster, probability, at, duration)
             for probability, at, duration in self.loss_bursts
+        ]
+        processes += [
+            duplicate_burst_at(cluster, probability, at, duration)
+            for probability, at, duration in self.duplicate_bursts
+        ]
+        processes += [
+            reorder_burst_at(cluster, window, at, duration)
+            for window, at, duration in self.reorder_bursts
+        ]
+        if manager is not None:
+            processes += [
+                clock_drift_at(cluster, manager, node_id, rate, at)
+                for node_id, rate, at in self.clock_drifts
+            ]
+        processes += [
+            slow_node_at(cluster, node_id, factor, at, duration)
+            for node_id, factor, at, duration in self.slow_nodes
         ]
         return processes

@@ -38,9 +38,11 @@ erroring.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Generator,
     List,
@@ -55,6 +57,7 @@ from repro.core.config import PenelopeConfig
 from repro.core.pool import PowerPool
 from repro.instrumentation import MetricsRecorder
 from repro.net.messages import (
+    MEMBER_DEAD,
     PORT_DECIDER,
     PORT_POOL,
     Addr,
@@ -155,6 +158,24 @@ class LocalDecider:
         #: :class:`~repro.core.batcher.TickBatcher` instead of its own
         #: per-node loop (the batcher assigns/clears it).
         self._batcher: Optional["TickBatcher"] = None
+        #: Local-clock scale factor (1.0 = nominal).  A drifting node's
+        #: timers -- tick cadence, response timeouts, retry backoffs --
+        #: all stretch by this factor (``faults.clock_drift_at``).  At
+        #: exactly 1.0 every ``x * scale`` below is bitwise ``x``, so
+        #: pinned fixtures are unaffected.
+        self.clock_scale: float = 1.0
+        #: Grant ids already applied once (duplicate-delivery hardening):
+        #: a network-duplicated :class:`PowerGrant` must re-ack but never
+        #: re-apply, or the watts it carries would be minted twice.
+        self._seen_grants: "OrderedDict[int, bool]" = OrderedDict()
+        #: Invariant-monitor hook: called ``(receiver, donor, sim_time)``
+        #: whenever a grant is accepted from a peer the local membership
+        #: view still holds confirmed-dead *after* ingesting the message.
+        self.dead_grant_hook: Optional[Callable[[int, int, float], None]] = None
+
+    #: How many applied grant ids to remember for duplicate suppression
+    #: (matches the donor pool's settled-escrow history depth).
+    _GRANT_HISTORY = 512
 
     # -- state inspection ---------------------------------------------------
 
@@ -239,7 +260,9 @@ class LocalDecider:
             # response wait took, like a real timer-driven daemon.
             next_tick = engine._now
             while True:
-                next_tick += period_s
+                # clock_scale is re-read every iteration so a drift fault
+                # landing mid-run takes effect on the very next tick.
+                next_tick += period_s * self.clock_scale
                 if next_tick > engine._now:
                     # Direct construction (== engine.timeout) on the
                     # once-per-node-per-period path.
@@ -464,13 +487,14 @@ class LocalDecider:
         """
         config = self.config
         engine = self.engine
-        deadline = engine._now + config.period_s
+        scale = self.clock_scale
+        deadline = engine._now + config.period_s * scale
         granted, timed_out = yield from self._attempt_request(urgent)
         attempts = 0
-        backoff = config.retry_backoff_s
+        backoff = config.retry_backoff_s * scale
         while timed_out and attempts < config.request_retries:
             worst_wait = backoff * (1.0 + config.retry_jitter)
-            if engine._now + worst_wait + config.timeout_s > deadline:
+            if engine._now + worst_wait + config.timeout_s * scale > deadline:
                 break
             attempts += 1
             jitter = 1.0 + config.retry_jitter * float(self._rng.random())
@@ -524,7 +548,9 @@ class LocalDecider:
             # so the queued completion hop is pure churn.
             wait_cls: type = InlineFirstOf
         else:
-            deadline = engine.timeout(self.config.timeout_s)
+            # Drifted deciders are never batched (the manager unbatches
+            # them), so only this per-node path scales the timeout.
+            deadline = engine.timeout(self.config.timeout_s * self.clock_scale)
             wait_cls = FirstOf
         granted = 0.0
         timed_out = False
@@ -547,9 +573,11 @@ class LocalDecider:
                 if isinstance(message, PowerGrant) and message.reply_to == request.msg_id:
                     self._suspicion.pop(peer, None)
                     self._ingest(message)
+                    self._check_grant_source(message)
                     self._acknowledge_grant(message)
                     granted = message.delta
                     if granted > 0:
+                        self._register_grant(message.msg_id)
                         self.applied_grants_w += granted
                     else:
                         self.empty_grants += 1
@@ -644,6 +672,15 @@ class LocalDecider:
         self._ingest(message)
         if isinstance(message, PowerGrant):
             if message.delta > 0:
+                self._check_grant_source(message)
+                if not self._register_grant(message.msg_id):
+                    # A network-duplicated copy of a grant we already
+                    # applied: re-ack (the donor's settle is idempotent)
+                    # but never bank the watts a second time -- doing so
+                    # would mint power and break the §2.1 budget audit.
+                    self._acknowledge_grant(message)
+                    self.recorder.bump("decider.duplicate_grants")
+                    return
                 self._acknowledge_grant(message)
                 self.applied_grants_w += message.delta
                 self.pool.deposit(message.delta)
@@ -655,6 +692,36 @@ class LocalDecider:
                 self.recorder.bump("decider.empty_grants")
         else:
             self.recorder.bump("decider.unexpected_messages")
+
+    def _register_grant(self, grant_id: int) -> bool:
+        """Remember an applied grant id; ``False`` means already seen.
+
+        The history is bounded (:data:`_GRANT_HISTORY`, evicting oldest)
+        -- deep enough that a duplicate echo, which trails its original
+        by at most one round-trip, always finds the record.
+        """
+        seen = self._seen_grants
+        if grant_id in seen:
+            return False
+        seen[grant_id] = True
+        while len(seen) > self._GRANT_HISTORY:
+            seen.popitem(last=False)
+        return True
+
+    def _check_grant_source(self, message: "PowerGrant") -> None:
+        """Invariant probe: grant accepted from a confirmed-dead peer?
+
+        Called *after* :meth:`_ingest` so the direct liveness evidence the
+        grant itself carries has already been applied -- a peer the view
+        still holds DEAD at that point is a genuine protocol violation,
+        not a stale reading about to refresh.
+        """
+        hook = self.dead_grant_hook
+        if hook is None or self._membership is None:
+            return
+        donor = message.src.node
+        if self._membership.view.status_of(donor) == MEMBER_DEAD:
+            hook(self.node_id, donor, self.engine._now)
 
     # -- membership plumbing ------------------------------------------------------
 

@@ -111,6 +111,11 @@ class PenelopeManager(PowerManager):
         #: Batched tick driver (``Engine.batched_ticks``); ``None`` means
         #: every decider runs its own per-node loop.
         self._batcher: Optional[TickBatcher] = None
+        #: Per-node clock scale (1 + drift rate) for nodes with drifting
+        #: clocks; survives crash-restarts (a revived node's replacement
+        #: agents inherit the drift -- the fault is in the hardware, not
+        #: the daemon).
+        self._clock_drift: Dict[int, float] = {}
 
     # -- agent wiring -------------------------------------------------------
 
@@ -171,6 +176,11 @@ class PenelopeManager(PowerManager):
         )
         self.pools[node_id] = pool
         self.deciders[node_id] = decider
+        scale = self._clock_drift.get(node_id)
+        if scale is not None:
+            decider.clock_scale = scale
+            if detector is not None:
+                detector.clock_scale = scale
         # A node crash takes its daemons down with it, and the manager
         # books what the crash destroyed (frozen cap + cached power).
         node.on_kill.append(pool.stop)
@@ -199,8 +209,13 @@ class PenelopeManager(PowerManager):
             self._start_decider(decider)
 
     def _start_decider(self, decider: LocalDecider) -> None:
-        """Start one decider on the batched or per-node path."""
-        if self._batcher is not None:
+        """Start one decider on the batched or per-node path.
+
+        A drifting decider never joins the batcher: the batcher drives
+        every member from one shared nominal-period event, which is
+        exactly what a drifted clock must not follow.
+        """
+        if self._batcher is not None and decider.clock_scale == 1.0:
             self._batcher.add(decider)
             # The co-located pool server is idle whenever a request
             # lands (service times are short against the period), so
@@ -288,6 +303,35 @@ class PenelopeManager(PowerManager):
             self.pools[node_id].start()
             self._start_decider(self.deciders[node_id])
         self.recorder.bump("manager.revives")
+
+    # -- clock drift ---------------------------------------------------------------
+
+    def set_clock_drift(self, node_id: int, rate: float) -> None:
+        """Make ``node_id``'s daemons run their timers scaled by ``1 + rate``.
+
+        Takes effect on the node's next timer: the decider re-reads its
+        scale every tick and the detector at every wait.  A decider
+        currently driven by the shared :class:`TickBatcher` is moved back
+        to its own per-node loop first -- a drifted clock cannot follow
+        the batcher's common nominal-period event.  The drift is a
+        *hardware* fault, so it survives crash-restarts of the node's
+        daemons (see :meth:`_build_agents`).
+        """
+        decider = self.deciders.get(node_id)
+        if decider is None:
+            raise ValueError(f"node {node_id} is not a managed client")
+        scale = 1.0 + rate
+        if scale <= 0:
+            raise ValueError(f"drift rate must keep the clock running: {rate!r}")
+        self._clock_drift[node_id] = scale
+        decider.clock_scale = scale
+        detector = self.detectors.get(node_id)
+        if detector is not None:
+            detector.clock_scale = scale
+        if decider._batcher is not None and scale != 1.0:
+            decider._batcher.remove(decider)
+            decider.start()
+        self.recorder.bump("manager.clock_drifts")
 
     # -- membership ---------------------------------------------------------------
 

@@ -31,7 +31,7 @@ reclaims through the usual paths.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Optional, Tuple, TypeVar
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -155,6 +155,22 @@ class PowerPool:
     def escrow_w(self) -> float:
         """Watts currently held in open escrow (subset of granted-out)."""
         return self._escrow_w
+
+    def open_escrow(self) -> List[Tuple[int, float, int]]:
+        """Open escrow entries as ``(grant_id, watts, requester)`` rows.
+
+        Read-only snapshot for the invariant monitor: lets probes check
+        that no escrow is held against a confirmed-dead requester and
+        that the per-entry sum matches :attr:`escrow_w`.
+        """
+        return [
+            (grant_id, delta, requester)
+            for grant_id, (delta, requester, _) in self._escrow.items()
+        ]
+
+    def settled_grant_ids(self) -> Tuple[int, ...]:
+        """Grant ids settled at-most-once (invariant-monitor snapshot)."""
+        return tuple(self._settled.keys())
 
     def deposit(self, watts: float) -> None:
         """Add freed power to the cache.

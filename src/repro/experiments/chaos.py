@@ -32,6 +32,13 @@ from repro.cluster.faults import FaultPlan
 from repro.core.config import PenelopeConfig
 from repro.core.manager import ConservationLedger, PenelopeManager
 from repro.experiments import serialize
+from repro.experiments.invariants import (
+    Invariant,
+    InvariantMonitor,
+    InvariantViolation,
+    violation_from_dict,
+    violation_to_dict,
+)
 from repro.experiments.runner import TaskKind, run_sweep
 from repro.instrumentation import MetricsRecorder
 from repro.net.network import NetworkStats
@@ -87,6 +94,21 @@ class ChaosSpec:
     response_timeout_s: float = 0.3
     request_retries: int = 2
     grant_ack_retries: int = 2
+    #: Adversarial fault families (all default-off): counts of scheduled
+    #: message-duplication bursts, reordering-window bursts, per-node
+    #: clock drifts, and gray-slow node windows.
+    duplicate_bursts: int = 0
+    reorder_bursts: int = 0
+    clock_drifts: int = 0
+    slow_nodes: int = 0
+    #: Intensities for the adversarial families: per-message duplication
+    #: probability inside a burst, extra-latency window width while
+    #: reordering, maximum |drift| rate, and the worst slow-node latency
+    #: multiplier (draws span [2, slow_factor]).
+    duplicate_prob: float = 0.1
+    reorder_window_s: float = 0.05
+    max_drift_rate: float = 0.05
+    slow_factor: float = 8.0
 
     def __post_init__(self) -> None:
         if self.n_clients < 4:
@@ -97,12 +119,31 @@ class ChaosSpec:
             raise ValueError("fault counts must be non-negative")
         if self.partitions < 0:
             raise ValueError("fault counts must be non-negative")
+        if (
+            self.duplicate_bursts < 0
+            or self.reorder_bursts < 0
+            or self.clock_drifts < 0
+            or self.slow_nodes < 0
+        ):
+            raise ValueError("fault counts must be non-negative")
         if self.membership_probe_period_s <= 0:
             raise ValueError("membership probe period must be positive")
         if self.kills >= self.n_clients:
             raise ValueError("cannot kill every client node")
         if not (0.0 <= self.burst_loss < 1.0):
             raise ValueError(f"burst loss out of [0, 1): {self.burst_loss!r}")
+        if not (0.0 <= self.base_loss < 1.0):
+            raise ValueError(f"base loss out of [0, 1): {self.base_loss!r}")
+        if not (0.0 <= self.duplicate_prob < 1.0):
+            raise ValueError(
+                f"duplicate probability out of [0, 1): {self.duplicate_prob!r}"
+            )
+        if self.reorder_window_s <= 0:
+            raise ValueError("reorder window must be positive")
+        if not (0.0 < self.max_drift_rate < 1.0):
+            raise ValueError(f"max drift rate out of (0, 1): {self.max_drift_rate!r}")
+        if self.slow_factor <= 1.0:
+            raise ValueError(f"slow factor must exceed 1: {self.slow_factor!r}")
         if self.audit_interval_s <= 0:
             raise ValueError("audit interval must be positive")
 
@@ -160,6 +201,27 @@ def build_chaos_plan(spec: ChaosSpec) -> FaultPlan:
         at = float(rng.uniform(0.20, 0.55) * horizon)
         heal_after_s = float(rng.uniform(0.15, 0.25) * horizon)
         plan.partition(isolated, at, heal_after_s)
+    # The adversarial families postdate partitions; drawn last, in a
+    # fixed order, so schedules of specs without them replay identically.
+    for _ in range(spec.duplicate_bursts):
+        at = float(rng.uniform(0.10, 0.80) * horizon)
+        duration_s = float(rng.uniform(0.05, 0.15) * horizon)
+        plan.duplicate_burst(spec.duplicate_prob, at, duration_s)
+    for _ in range(spec.reorder_bursts):
+        at = float(rng.uniform(0.10, 0.80) * horizon)
+        duration_s = float(rng.uniform(0.05, 0.15) * horizon)
+        plan.reorder_burst(spec.reorder_window_s, at, duration_s)
+    for _ in range(spec.clock_drifts):
+        node = int(rng.integers(spec.n_clients))
+        rate = float(rng.uniform(-spec.max_drift_rate, spec.max_drift_rate))
+        at = float(rng.uniform(0.10, 0.60) * horizon)
+        plan.clock_drift(node, rate, at)
+    for _ in range(spec.slow_nodes):
+        node = int(rng.integers(spec.n_clients))
+        factor = float(rng.uniform(2.0, spec.slow_factor))
+        at = float(rng.uniform(0.10, 0.60) * horizon)
+        duration_s = float(rng.uniform(0.10, 0.30) * horizon)
+        plan.slow_node(node, factor, at, duration_s)
     return plan
 
 
@@ -182,6 +244,7 @@ class BudgetAuditor:
         manager: PenelopeManager,
         interval_s: float = 1.0,
         recorder: Optional[MetricsRecorder] = None,
+        monitor: Optional[InvariantMonitor] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("audit interval must be positive")
@@ -189,6 +252,11 @@ class BudgetAuditor:
         self.manager = manager
         self.interval_s = interval_s
         self.recorder = recorder if recorder is not None else manager.recorder
+        #: Optional invariant monitor; when set, every probe evaluates
+        #: the full invariant registry instead of the two bare
+        #: conservation checks (which the monitor's ``conservation``
+        #: invariant subsumes).
+        self.monitor = monitor
         self.ledgers: List[ConservationLedger] = []
         self.max_abs_residual_w = 0.0
         self._process: Optional[Process] = None
@@ -206,8 +274,11 @@ class BudgetAuditor:
     def probe(self) -> ConservationLedger:
         """Sample, assert and record one conservation snapshot."""
         ledger = self.manager.ledger()
-        ledger.check()
-        self.manager.audit().check()
+        if self.monitor is None:
+            ledger.check()
+            self.manager.audit().check()
+        else:
+            self.monitor.probe()
         for name in (
             "caps_live_w",
             "caps_dead_w",
@@ -349,10 +420,17 @@ class ChaosResult:
     network: NetworkStats
     #: Failure-detector scorecard (only when membership was enabled).
     detector: Optional[Dict[str, Any]] = None
+    #: Invariant violations observed by the monitor (empty on a clean
+    #: run; can only be non-empty when the run was not fail-fast).
+    violations: List[InvariantViolation] = dataclasses.field(default_factory=list)
 
 
 def run_chaos_single(
-    spec: ChaosSpec, sim: Optional[SimConfig] = None
+    spec: ChaosSpec,
+    sim: Optional[SimConfig] = None,
+    plan: Optional[FaultPlan] = None,
+    invariants: Optional[Sequence[Invariant]] = None,
+    fail_fast: bool = True,
 ) -> ChaosResult:
     """Run one seeded chaos storm to its horizon under continuous audit.
 
@@ -361,6 +439,11 @@ def run_chaos_single(
     ambient environment defaults.  The pinned chaos fixture passes
     ``SimConfig(batched_ticks=False)`` -- its bytes encode the staggered
     per-node trajectory, which the batcher only approximates.
+
+    ``plan`` overrides the seed-derived schedule (the fuzzer replays
+    explicit shrunken plans this way); ``invariants`` overrides the
+    default invariant set; ``fail_fast=False`` records violations in the
+    result instead of raising at the first one.
     """
     engine = Engine(scheduler=sim)
     rngs = RngRegistry(seed=spec.seed)
@@ -392,9 +475,15 @@ def run_chaos_single(
     manager.install(
         cluster, client_ids=list(range(spec.n_clients)), budget_w=spec.budget_w
     )
-    plan = build_chaos_plan(spec)
+    if plan is None:
+        plan = build_chaos_plan(spec)
     plan.install(cluster, manager)
-    auditor = BudgetAuditor(engine, manager, interval_s=spec.audit_interval_s)
+    monitor = InvariantMonitor(
+        engine, manager, invariants=invariants, fail_fast=fail_fast
+    )
+    auditor = BudgetAuditor(
+        engine, manager, interval_s=spec.audit_interval_s, monitor=monitor
+    )
     cluster.start_workloads()
     manager.start()
     auditor.start()
@@ -417,15 +506,38 @@ def run_chaos_single(
         recorder=manager.recorder,
         network=cluster.network.stats,
         detector=detector_report,
+        violations=list(monitor.violations),
     )
 
 
 # -- JSON codecs (cache round-trip) ------------------------------------------
 
 
+#: Spec fields that postdate the pinned chaos fixture and the sweep
+#: cache keys: emitted only when they differ from the default, so specs
+#: not using them keep byte-identical canonical JSON (and sha256 keys).
+_SPEC_LATE_FIELDS = (
+    "duplicate_bursts",
+    "reorder_bursts",
+    "clock_drifts",
+    "slow_nodes",
+    "duplicate_prob",
+    "reorder_window_s",
+    "max_drift_rate",
+    "slow_factor",
+)
+
+_SPEC_DEFAULTS = {
+    f.name: f.default for f in dataclasses.fields(ChaosSpec)
+}
+
+
 def chaos_spec_to_dict(spec: ChaosSpec) -> Dict[str, Any]:
     data = dataclasses.asdict(spec)
     data["pair"] = list(spec.pair)
+    for key in _SPEC_LATE_FIELDS:
+        if data[key] == _SPEC_DEFAULTS[key]:
+            del data[key]
     return data
 
 
@@ -444,7 +556,7 @@ def ledger_from_dict(data: Dict[str, Any]) -> ConservationLedger:
 
 
 def chaos_result_to_dict(result: ChaosResult) -> Dict[str, Any]:
-    return {
+    data = {
         "spec": chaos_spec_to_dict(result.spec),
         "schedule": result.schedule,
         "n_audits": result.n_audits,
@@ -454,6 +566,10 @@ def chaos_result_to_dict(result: ChaosResult) -> Dict[str, Any]:
         "network": serialize.network_stats_to_dict(result.network),
         "detector": result.detector,
     }
+    # Violations postdate the pinned fixture; clean runs stay byte-identical.
+    if result.violations:
+        data["violations"] = [violation_to_dict(v) for v in result.violations]
+    return data
 
 
 def chaos_result_from_dict(data: Dict[str, Any]) -> ChaosResult:
@@ -466,6 +582,9 @@ def chaos_result_from_dict(data: Dict[str, Any]) -> ChaosResult:
         recorder=serialize.recorder_from_dict(data["recorder"]),
         network=serialize.network_stats_from_dict(data["network"]),
         detector=data.get("detector"),
+        violations=[
+            violation_from_dict(v) for v in data.get("violations", [])
+        ],
     )
 
 

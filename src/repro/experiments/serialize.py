@@ -102,6 +102,48 @@ def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
             [probability, at, duration]
             for probability, at, duration in plan.loss_bursts
         ],
+        # Adversarial categories postdate the codec: emitted only when
+        # present so older plans' canonical JSON (and the sha256 cache
+        # keys derived from it) is unchanged.
+        **(
+            {
+                "duplicate_bursts": [
+                    [probability, at, duration]
+                    for probability, at, duration in plan.duplicate_bursts
+                ]
+            }
+            if plan.duplicate_bursts
+            else {}
+        ),
+        **(
+            {
+                "reorder_bursts": [
+                    [window, at, duration]
+                    for window, at, duration in plan.reorder_bursts
+                ]
+            }
+            if plan.reorder_bursts
+            else {}
+        ),
+        **(
+            {
+                "clock_drifts": [
+                    [node_id, rate, at] for node_id, rate, at in plan.clock_drifts
+                ]
+            }
+            if plan.clock_drifts
+            else {}
+        ),
+        **(
+            {
+                "slow_nodes": [
+                    [node_id, factor, at, duration]
+                    for node_id, factor, at, duration in plan.slow_nodes
+                ]
+            }
+            if plan.slow_nodes
+            else {}
+        ),
     }
 
 
@@ -119,6 +161,14 @@ def fault_plan_from_dict(data: Dict[str, Any]) -> FaultPlan:
         plan.flap([int(i) for i in isolated], at, down, up, int(cycles))
     for probability, at, duration in data.get("loss_bursts", []):
         plan.loss_burst(probability, at, duration)
+    for probability, at, duration in data.get("duplicate_bursts", []):
+        plan.duplicate_burst(probability, at, duration)
+    for window, at, duration in data.get("reorder_bursts", []):
+        plan.reorder_burst(window, at, duration)
+    for node_id, rate, at in data.get("clock_drifts", []):
+        plan.clock_drift(int(node_id), rate, at)
+    for node_id, factor, at, duration in data.get("slow_nodes", []):
+        plan.slow_node(int(node_id), factor, at, duration)
     return plan
 
 
@@ -254,6 +304,12 @@ def audit_from_dict(data: Dict[str, Any]) -> BudgetAudit:
 def network_stats_to_dict(stats: NetworkStats) -> Dict[str, Any]:
     data = dataclasses.asdict(stats)
     data["by_kind"] = dict(stats.by_kind)
+    # The adversarial-fault counters postdate the pinned fixtures and the
+    # cache-key hashes; emit them only when the faults actually fired so
+    # default runs keep producing byte-identical JSON.
+    for key in ("duplicated", "reordered", "duplicated_by_kind", "reordered_by_kind"):
+        if not data[key]:
+            del data[key]
     return data
 
 
@@ -277,7 +333,15 @@ def network_stats_from_dict(data: Dict[str, Any]) -> NetworkStats:
         dropped_overflow=data["dropped_overflow"],
         dropped_unattached=data["dropped_unattached"],
         dropped_loss=data["dropped_loss"],
+        duplicated=int(data.get("duplicated", 0)),
+        reordered=int(data.get("reordered", 0)),
         by_kind={str(k): int(v) for k, v in data["by_kind"].items()},
+        duplicated_by_kind={
+            str(k): int(v) for k, v in data.get("duplicated_by_kind", {}).items()
+        },
+        reordered_by_kind={
+            str(k): int(v) for k, v in data.get("reordered_by_kind", {}).items()
+        },
     )
 
 

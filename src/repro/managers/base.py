@@ -233,6 +233,17 @@ class PowerManager(abc.ABC):
             raise ValueError(f"node {node_id} is not a managed client")
         self.cluster.revive_node(node_id)
 
+    def set_clock_drift(self, node_id: int, rate: float) -> None:
+        """Make ``node_id``'s local timers run scaled by ``1 + rate``.
+
+        Only managers with per-node timer-driven daemons can drift a
+        node's clock; the base raises so a fault plan targeting a
+        driftless manager fails loudly instead of silently doing nothing.
+        """
+        raise NotImplementedError(
+            f"{self.name} has no per-node clocks to drift"
+        )
+
     # -- subclass hooks -----------------------------------------------------------
 
     @abc.abstractmethod

@@ -136,6 +136,11 @@ class FailureDetector:
         #: Pending suspect -> confirm timers, by subject.
         self._confirm_timers: Dict[int, Callback] = {}
         self._process: Optional[Process] = None
+        #: Local-clock scale factor (1.0 = nominal); stretches the probe
+        #: period, indirect-probe timeout and suspect-confirm timer of a
+        #: node whose clock drifts (``faults.clock_drift_at``).  At
+        #: exactly 1.0 every ``x * scale`` is bitwise ``x``.
+        self.clock_scale: float = 1.0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -215,11 +220,13 @@ class FailureDetector:
         recorder = self.recorder
         try:
             # Stagger starts so a cluster's probes do not beat in lockstep.
-            yield Timeout(engine, float(self._rng.uniform(0.0, period)))
+            # clock_scale is re-read at every wait so a drift fault landing
+            # mid-run takes effect on the very next timer.
+            yield Timeout(engine, float(self._rng.uniform(0.0, period)) * self.clock_scale)
             while True:
                 target = self._next_target()
                 if target is None:  # no peers at all
-                    yield Timeout(engine, period)
+                    yield Timeout(engine, period * self.clock_scale)
                     continue
                 self._probe_target = target
                 self._probe_acked = False
@@ -233,7 +240,7 @@ class FailureDetector:
                 # The common (answered) round costs exactly one timer
                 # event; only an unanswered round pays for a second wait,
                 # covering the indirect probes through relays.
-                yield Timeout(engine, period)
+                yield Timeout(engine, period * self.clock_scale)
                 if not self._probe_acked and indirect > 0:
                     relays = self._pick_relays(target)
                     for relay in relays:
@@ -246,7 +253,7 @@ class FailureDetector:
                         )
                         recorder.bump("membership.ping_reqs")
                     if relays:
-                        yield Timeout(engine, probe_timeout)
+                        yield Timeout(engine, probe_timeout * self.clock_scale)
                 if not self._probe_acked:
                     self._on_probe_failed(target)
                 self._probe_target = None
@@ -414,7 +421,7 @@ class FailureDetector:
             self.recorder.bump("membership.suspects")
             self._confirm_timers[subject] = Callback(
                 self.engine,
-                self.config.membership_suspect_timeout_s,
+                self.config.membership_suspect_timeout_s * self.clock_scale,
                 self._confirm,
                 subject,
                 transition.incarnation,

@@ -25,6 +25,12 @@ class NetworkStats:
     Fault experiments need the distinction -- the first measures traffic
     the dead node would have generated, the second measures collateral
     loss on the live side of a crash.
+
+    ``duplicated`` and ``reordered`` count messages touched by the
+    adversarial fault families (echoed by a duplication fault, or given
+    extra reorder-window delay); both get a by-kind split like the send
+    counter, so chaos reports can assert which protocol traffic a fault
+    window actually hit.
     """
 
     sent: int = 0
@@ -35,7 +41,11 @@ class NetworkStats:
     dropped_overflow: int = 0
     dropped_unattached: int = 0
     dropped_loss: int = 0
+    duplicated: int = 0
+    reordered: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    duplicated_by_kind: Dict[str, int] = field(default_factory=dict)
+    reordered_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def dropped_dead(self) -> int:
@@ -97,6 +107,25 @@ class Network:
         self._latency_units: "np.ndarray[Any, Any]" = np.empty(0)
         self._latency_idx = 0
         self._latency_buffering = True
+        # -- adversarial fault families (all default-off) ----------------
+        # Each family draws from its *own* caller-supplied stream, never
+        # from the latency stream: arming or disarming a family therefore
+        # cannot shift the positions of latency or loss draws, which is
+        # what keeps every pinned fixture byte-identical while the knobs
+        # sit at their defaults.
+        #: Probability that a sent message is delivered twice (same
+        #: ``msg_id``, second copy later) -- the adversarial case for
+        #: at-most-once grant application and escrow settlement.
+        self._duplicate_probability = 0.0
+        self._duplicate_rng: Optional[np.random.Generator] = None
+        #: Width of the extra per-message delay during a reordering
+        #: window; uniform extra delays this large invert arrival order
+        #: between messages sent close together (latency inversion).
+        self._reorder_window_s = 0.0
+        self._reorder_rng: Optional[np.random.Generator] = None
+        #: Gray-slow nodes: node id -> latency multiplier applied to
+        #: every message the node sends or receives.
+        self._slow_factors: Dict[int, float] = {}
 
     # -- membership ------------------------------------------------------
 
@@ -170,6 +199,67 @@ class Network:
         """
         self._latency_buffering = False
 
+    # -- adversarial fault families ------------------------------------------
+
+    def enable_duplication(
+        self, probability: float, rng: np.random.Generator
+    ) -> None:
+        """Deliver each subsequent message twice with ``probability``.
+
+        The second copy is the *same stamped message* (same ``msg_id``)
+        arriving later -- exactly what a fabric that retransmits or
+        multipaths produces, and the adversarial input for any
+        at-most-once guarantee (grant application, escrow settlement).
+        ``rng`` must be a dedicated stream: duplication draws never touch
+        the latency stream, so arming this fault leaves every other draw
+        position unchanged.
+        """
+        if not (0.0 <= probability < 1.0):
+            raise ValueError(
+                f"duplication probability out of [0, 1): {probability!r}"
+            )
+        self._duplicate_probability = probability
+        self._duplicate_rng = rng
+
+    def disable_duplication(self) -> None:
+        """End a duplication window (the stream is kept for later bursts)."""
+        self._duplicate_probability = 0.0
+
+    def enable_reordering(
+        self, window_s: float, rng: np.random.Generator
+    ) -> None:
+        """Add uniform extra delay in ``[0, window_s)`` to each message.
+
+        Messages sent within ``window_s`` of each other can arrive in
+        inverted order -- a latency-inversion burst.  Like duplication,
+        the extra-delay draws come from their own dedicated stream.
+        """
+        if window_s <= 0:
+            raise ValueError(f"reorder window must be positive: {window_s!r}")
+        self._reorder_window_s = window_s
+        self._reorder_rng = rng
+
+    def disable_reordering(self) -> None:
+        """End a reordering window (the stream is kept for later bursts)."""
+        self._reorder_window_s = 0.0
+
+    def set_node_slowdown(self, node_id: int, factor: float) -> None:
+        """Mark ``node_id`` gray-slow: its traffic takes ``factor``x longer.
+
+        Applies multiplicatively to every message the node sends *or*
+        receives (both endpoints slow stack), modelling a node that is
+        alive and correct but degraded -- the case failure detectors
+        chronically mis-classify.  Purely deterministic: no RNG draws.
+        """
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive: {factor!r}")
+        if not self.topology.contains(node_id):
+            raise ValueError(f"node id {node_id!r} outside topology")
+        self._slow_factors[node_id] = factor
+
+    def clear_node_slowdown(self, node_id: int) -> None:
+        self._slow_factors.pop(node_id, None)
+
     # -- sending ---------------------------------------------------------------
 
     def send(self, message: Message) -> None:
@@ -230,6 +320,26 @@ class Network:
         ) < self.loss_probability:
             stats.dropped_loss += 1
             return
+        # Adversarial fault families (default-off: every guard below is
+        # false until a fault injector arms it, so the nominal send path
+        # is untouched).  They run after the drop checks -- only messages
+        # actually in flight are slowed, jittered or duplicated -- and
+        # draw from their own dedicated streams, never the latency/loss
+        # stream, so arming them cannot shift any other draw position.
+        if self._slow_factors:
+            src_factor = self._slow_factors.get(message.src.node)
+            if src_factor is not None:
+                delay *= src_factor
+            dst_factor = self._slow_factors.get(message.dst.node)
+            if dst_factor is not None:
+                delay *= dst_factor
+        if self._reorder_window_s > 0.0:
+            assert self._reorder_rng is not None
+            delay += self._reorder_window_s * float(self._reorder_rng.random())
+            stats.reordered += 1
+            stats.reordered_by_kind[kind] = (
+                stats.reordered_by_kind.get(kind, 0) + 1
+            )
         # Messages are frozen value objects: delivery carries a *stamped
         # copy* (same msg_id) instead of mutating the sender's instance
         # retroactively.  Stamping after the drop checks keeps the copy
@@ -239,6 +349,25 @@ class Network:
         # per message on the simulation's hottest path; constant tiebreak
         # key for the same reason.
         Callback(self.engine, delay, self._deliver, stamped, name="net.deliver")
+        if self._duplicate_probability > 0.0:
+            assert self._duplicate_rng is not None
+            if float(self._duplicate_rng.random()) < self._duplicate_probability:
+                stats.duplicated += 1
+                stats.duplicated_by_kind[kind] = (
+                    stats.duplicated_by_kind.get(kind, 0) + 1
+                )
+                # The echo trails the original by up to one extra latency
+                # (same stamped copy, same msg_id -- a true duplicate).
+                echo_delay = delay * (
+                    1.0 + float(self._duplicate_rng.random())
+                )
+                Callback(
+                    self.engine,
+                    echo_delay,
+                    self._deliver,
+                    stamped,
+                    name="net.deliver.dup",
+                )
 
     def _deliver(self, message: Message) -> None:
         # Conditions are evaluated at *arrival* time: a destination that died

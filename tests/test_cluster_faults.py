@@ -118,6 +118,62 @@ class TestLossBurst:
             FaultPlan().restart(0, -1.0)
 
 
+class TestGroundTruthEdgeCases:
+    """`dead_intervals` / `heal_times` under degenerate schedules: the
+    detector metrics are scored against these, so the edge semantics
+    (restart strictly after its kill, one interval per restart, flap
+    up-edges clipped to the horizon) are load-bearing."""
+
+    def test_restart_before_kill_does_not_close_the_interval(self):
+        # A restart scheduled at-or-before the kill instant is not a
+        # revive of *that* death; the interval runs to the horizon.
+        plan = FaultPlan().kill(1, 5.0).restart(1, 5.0)
+        assert plan.dead_intervals(20.0) == [(1, 5.0, 20.0)]
+        plan = FaultPlan().kill(1, 5.0).restart(1, 3.0)
+        assert plan.dead_intervals(20.0) == [(1, 5.0, 20.0)]
+
+    def test_each_restart_closes_at_most_one_interval(self):
+        # Two deaths, one revive: the earlier kill consumes the restart,
+        # the second interval stays open to the horizon.
+        plan = FaultPlan().kill(1, 2.0).kill(1, 10.0).restart(1, 6.0)
+        assert plan.dead_intervals(20.0) == [(1, 2.0, 6.0), (1, 10.0, 20.0)]
+
+    def test_earliest_matching_restart_wins(self):
+        plan = FaultPlan().kill(1, 2.0).restart(1, 8.0).restart(1, 4.0)
+        assert plan.dead_intervals(20.0) == [(1, 2.0, 4.0)]
+
+    def test_restart_without_kill_contributes_no_interval(self):
+        plan = FaultPlan().restart(2, 5.0).kill(1, 3.0)
+        assert plan.dead_intervals(20.0) == [(1, 3.0, 20.0)]
+
+    def test_restart_beyond_horizon_clips_to_horizon(self):
+        plan = FaultPlan().kill(1, 5.0).restart(1, 30.0)
+        assert plan.dead_intervals(20.0) == [(1, 5.0, 20.0)]
+
+    def test_overlapping_flaps_emit_every_up_edge(self):
+        # Two flapping partitions whose windows interleave: heal_times
+        # reports each up-edge independently, sorted, horizon-clipped.
+        plan = (
+            FaultPlan()
+            .flap([0], at_time_s=1.0, down_s=1.0, up_s=1.0, cycles=2)
+            .flap([1], at_time_s=1.5, down_s=1.0, up_s=1.0, cycles=2)
+        )
+        assert plan.heal_times(10.0) == [2.0, 2.5, 4.0, 4.5]
+        assert plan.heal_times(4.2) == [2.0, 2.5, 4.0]
+
+    def test_flap_and_partition_heals_merge_sorted(self):
+        plan = (
+            FaultPlan()
+            .partition([2], at_time_s=1.0, heal_after_s=5.0)
+            .flap([0], at_time_s=1.0, down_s=1.0, up_s=1.0, cycles=1)
+        )
+        assert plan.heal_times(10.0) == [2.0, 6.0]
+        # Unhealed partitions and heals past the horizon never appear.
+        plan.partition([3], at_time_s=2.0)
+        plan.partition([1], at_time_s=2.0, heal_after_s=100.0)
+        assert plan.heal_times(10.0) == [2.0, 6.0]
+
+
 class TestSameTimestampOrdering:
     """`install` arms in declaration order (category, then list position),
     and the engine breaks timestamp ties by trigger sequence -- so faults

@@ -78,11 +78,33 @@ class TestChaosSpec:
             {"n_clients": 4, "kills": 4},
             {"burst_loss": 1.0},
             {"audit_interval_s": 0.0},
+            {"base_loss": 1.0},
+            {"base_loss": -0.1},
+            {"duplicate_bursts": -1},
+            {"reorder_bursts": -1},
+            {"clock_drifts": -1},
+            {"slow_nodes": -1},
+            {"duplicate_prob": 1.0},
+            {"duplicate_prob": -0.1},
+            {"reorder_window_s": 0.0},
+            {"max_drift_rate": 0.0},
+            {"max_drift_rate": 1.0},
+            {"slow_factor": 1.0},
         ],
     )
     def test_invalid_specs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ChaosSpec(**kwargs)
+
+    def test_full_base_loss_is_rejected_at_construction(self):
+        # Regression: base_loss skipped validation entirely, so a spec
+        # with a 100% floor only blew up deep inside Network at run
+        # time.  Now it fails at construction like every other field.
+        with pytest.raises(ValueError, match=r"base loss out of \[0, 1\)"):
+            ChaosSpec(base_loss=1.0)
+        # The boundary below 1.0 stays legal.
+        assert ChaosSpec(base_loss=0.0).base_loss == 0.0
+        assert ChaosSpec(base_loss=0.5).base_loss == 0.5
 
     def test_chaos_specs_vary_only_the_seed(self):
         specs = chaos_specs([0, 1, 2], n_clients=6, kills=1)
@@ -117,6 +139,51 @@ class TestBuildChaosPlan:
         for node, killed_at in plan.node_kills:
             assert 0.15 * 50.0 <= killed_at <= 0.5 * 50.0
             assert killed_at < restart_at[node] <= 0.95 * 50.0
+
+    def test_adversarial_counts_draw_their_families(self):
+        spec = ChaosSpec(
+            n_clients=8,
+            duration_s=40.0,
+            duplicate_bursts=2,
+            reorder_bursts=1,
+            clock_drifts=2,
+            slow_nodes=1,
+        )
+        plan = build_chaos_plan(spec)
+        assert len(plan.duplicate_bursts) == 2
+        assert len(plan.reorder_bursts) == 1
+        assert len(plan.clock_drifts) == 2
+        assert len(plan.slow_nodes) == 1
+        for node, rate, at in plan.clock_drifts:
+            assert 0 <= node < 8
+            assert abs(rate) <= spec.max_drift_rate
+            assert 0.10 * 40.0 <= at <= 0.60 * 40.0
+        for node, factor, at, duration in plan.slow_nodes:
+            assert 0 <= node < 8
+            assert 2.0 <= factor <= spec.slow_factor
+            assert duration is not None and duration > 0
+
+    def test_adversarial_draws_append_after_legacy_draws(self):
+        # Same back-compat contract as the partition draws: enabling the
+        # new families must not shift where kills/flaps/bursts land, so
+        # pre-existing seeded schedules replay identically.
+        legacy = build_chaos_plan(
+            ChaosSpec(seed=9, kills=2, flaps=1, bursts=1, partitions=1)
+        )
+        extended = build_chaos_plan(
+            ChaosSpec(
+                seed=9, kills=2, flaps=1, bursts=1, partitions=1,
+                duplicate_bursts=1, reorder_bursts=1,
+                clock_drifts=1, slow_nodes=1,
+            )
+        )
+        assert extended.node_kills == legacy.node_kills
+        assert extended.restarts == legacy.restarts
+        assert extended.flaps == legacy.flaps
+        assert extended.loss_bursts == legacy.loss_bursts
+        assert extended.partitions == legacy.partitions
+        assert legacy.duplicate_bursts == []
+        assert len(extended.duplicate_bursts) == 1
 
     def test_schedule_rng_does_not_touch_run_streams(self):
         # Drawing the schedule twice must not perturb a later run: the

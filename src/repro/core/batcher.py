@@ -56,9 +56,15 @@ from __future__ import annotations
 from itertools import count
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
-from repro.sim.events import Callback, EventBase, Timeout
-from repro.sim.process import InlineProcess, Interrupt, Process
-from repro.sim._stop import stop_process
+from repro.sim import (
+    Callback,
+    EventBase,
+    InlineProcess,
+    Interrupt,
+    Process,
+    Timeout,
+    stop_process,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import PenelopeConfig
@@ -169,7 +175,7 @@ class TickBatcher:
             width = stagger / self.tick_slots
             offset = int(draw / width) * width
         engine = self.engine
-        now = engine._now
+        now = engine.now
         first = now + offset + self.period_s
         slot = None
         for candidate in self._slots:
@@ -262,7 +268,7 @@ class TickBatcher:
         already-settled waiters.
         """
         engine = self.engine
-        when = engine._now + timeout_s
+        when = engine.now + timeout_s
         shared = self._deadline
         if (
             shared is not None
@@ -279,7 +285,7 @@ class TickBatcher:
 
     def _run_slot(self, slot: _Slot) -> None:
         engine = self.engine
-        now = engine._now
+        now = engine.now
         period = self.period_s
         if slot.dirty:
             members = [m for m in slot.members if not m.dead]
@@ -311,7 +317,7 @@ class TickBatcher:
     def _tick_member(self, member: _Member) -> None:
         """Run one member's tick body at the current instant."""
         engine = self.engine
-        member.due = engine._now + self.period_s
+        member.due = engine.now + self.period_s
         member.order = next(self._order)
         decider = member.decider
         current = self._current
@@ -351,7 +357,7 @@ class TickBatcher:
             # Resolved synchronously inside its own tick (e.g. empty
             # membership view skips the request): position unchanged.
             return
-        if self.engine._now >= member.due:
+        if self.engine.now >= member.due:
             # The request resolved at the member's next tick instant --
             # after this instant's batch, which skipped the member as
             # still-requesting (FirstOf re-schedules the resume with a

@@ -67,11 +67,17 @@ from repro.net.messages import (
 )
 from repro.net.network import Network
 from repro.power.rapl import PowerCapInterface
-from repro.sim.engine import Engine
-from repro.sim.events import EventBase, FirstOf, InlineFirstOf, Timeout
-from repro.sim._stop import stop_process
-from repro.sim.process import Interrupt, Process
-from repro.sim.resources import Store
+from repro.sim import (
+    Engine,
+    EventBase,
+    FirstOf,
+    InlineFirstOf,
+    Interrupt,
+    Process,
+    Store,
+    Timeout,
+    stop_process,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - break the core <-> membership cycle
     from repro.core.batcher import TickBatcher
@@ -258,15 +264,15 @@ class LocalDecider:
             # Fixed-cadence ticks ("iterates once every second", §4.5): the
             # next iteration lands at start + k*T regardless of how long a
             # response wait took, like a real timer-driven daemon.
-            next_tick = engine._now
+            next_tick = engine.now
             while True:
                 # clock_scale is re-read every iteration so a drift fault
                 # landing mid-run takes effect on the very next tick.
                 next_tick += period_s * self.clock_scale
-                if next_tick > engine._now:
+                if next_tick > engine.now:
                     # Direct construction (== engine.timeout) on the
                     # once-per-node-per-period path.
-                    yield Timeout(engine, next_tick - engine._now)
+                    yield Timeout(engine, next_tick - engine.now)
                 urgency = self.tick_start()
                 if urgency is None:
                     self.tick_end(False, 0.0)
@@ -313,7 +319,7 @@ class LocalDecider:
                 self._set_cap(cap_w - delta)  # lower cap FIRST
                 pool.deposit(delta)
                 recorder.transaction(
-                    time=engine._now,
+                    time=engine.now,
                     kind="release",
                     src=node_id,
                     dst=node_id,
@@ -338,7 +344,7 @@ class LocalDecider:
             if delta > 0:
                 self._raise_cap(delta)
                 recorder.transaction(
-                    time=engine._now,
+                    time=engine.now,
                     kind="local",
                     src=node_id,
                     dst=node_id,
@@ -366,7 +372,7 @@ class LocalDecider:
                 self._set_cap(self.cap_w - release)
                 pool.deposit(release)
                 self.recorder.transaction(
-                    time=self.engine._now,
+                    time=self.engine.now,
                     kind="induced-release",
                     src=self.node_id,
                     dst=self.node_id,
@@ -417,7 +423,7 @@ class LocalDecider:
         rng = self._rng
         peer = int(candidates[int(rng.integers(0, len(candidates)))])
         if membership is None and self._suspicion:
-            now = self.engine._now
+            now = self.engine.now
             for _ in range(2):
                 expiry = self._suspicion.get(peer)
                 if expiry is None:
@@ -447,13 +453,13 @@ class LocalDecider:
             return
         ttl = self.config.suspicion_ttl_s
         if ttl > 0:
-            self._suspicion[peer] = self.engine._now + ttl
+            self._suspicion[peer] = self.engine.now + ttl
 
     def _purge_suspicion(self) -> None:
         """Drop expired suspicion entries (every tick, not just when the
         redraw loop happens to land on one -- a suspicion acquired and
         never re-drawn would otherwise linger forever)."""
-        now = self.engine._now
+        now = self.engine.now
         expired = [peer for peer, expiry in self._suspicion.items() if expiry <= now]
         for peer in expired:
             del self._suspicion[peer]
@@ -488,13 +494,13 @@ class LocalDecider:
         config = self.config
         engine = self.engine
         scale = self.clock_scale
-        deadline = engine._now + config.period_s * scale
+        deadline = engine.now + config.period_s * scale
         granted, timed_out = yield from self._attempt_request(urgent)
         attempts = 0
         backoff = config.retry_backoff_s * scale
         while timed_out and attempts < config.request_retries:
             worst_wait = backoff * (1.0 + config.retry_jitter)
-            if engine._now + worst_wait + config.timeout_s * scale > deadline:
+            if engine.now + worst_wait + config.timeout_s * scale > deadline:
                 break
             attempts += 1
             jitter = 1.0 + config.retry_jitter * float(self._rng.random())
@@ -532,7 +538,7 @@ class LocalDecider:
         if urgent:
             self.urgent_requests_sent += 1
         engine = self.engine
-        sent_at = engine._now
+        sent_at = engine.now
         self.network.send(self._stamp(request))
 
         # Under the batched tick driver every request armed at this
@@ -596,9 +602,9 @@ class LocalDecider:
             if batcher is None and not deadline.processed:
                 deadline.cancel()
         self.recorder.turnaround(
-            time=engine._now,
+            time=engine.now,
             node=self.node_id,
-            wait_s=engine._now - sent_at,
+            wait_s=engine.now - sent_at,
             granted_w=granted,
             timed_out=timed_out,
         )
@@ -721,7 +727,7 @@ class LocalDecider:
             return
         donor = message.src.node
         if self._membership.view.status_of(donor) == MEMBER_DEAD:
-            hook(self.node_id, donor, self.engine._now)
+            hook(self.node_id, donor, self.engine.now)
 
     # -- membership plumbing ------------------------------------------------------
 

@@ -49,8 +49,7 @@ from repro.net.messages import (
 )
 from repro.net.network import Network
 from repro.net.server import RequestServer
-from repro.sim.engine import Engine
-from repro.sim.events import Callback
+from repro.sim import Callback, Engine
 
 if TYPE_CHECKING:  # pragma: no cover - break the core <-> membership cycle
     from repro.membership.detector import FailureDetector

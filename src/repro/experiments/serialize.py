@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from typing import Any, Dict, Optional, Type
 
 from repro.cluster.faults import FaultPlan
@@ -33,6 +34,22 @@ from repro.instrumentation import (
 from repro.managers.base import BudgetAudit, ManagerConfig
 from repro.managers.slurm import SlurmConfig
 from repro.managers.slurm_ha import HaSlurmConfig
+from repro.membership.messages import (
+    MembershipAck,
+    MembershipGossip,
+    MembershipPing,
+    MembershipPingReq,
+)
+from repro.net.messages import (
+    Addr,
+    ExcessReport,
+    GrantAck,
+    MembershipUpdate,
+    Message,
+    PowerGrant,
+    PowerRequest,
+    ReleaseDirective,
+)
 from repro.net.network import NetworkStats
 
 #: Every concrete manager-config class the harness can carry.  Order is
@@ -40,6 +57,26 @@ from repro.net.network import NetworkStats
 CONFIG_TYPES: Dict[str, Type[ManagerConfig]] = {
     cls.__name__: cls
     for cls in (ManagerConfig, PenelopeConfig, SlurmConfig, HaSlurmConfig)
+}
+
+#: Every wire message type, keyed by class name (= ``Message.kind``).
+#: The whole-program lint rule R9 checks this table against the message
+#: classes declared in ``net/messages.py`` / ``membership/messages.py``:
+#: a type missing here cannot cross a process boundary in the ROADMAP's
+#: real-substrate and federated modes.
+MESSAGE_TYPES: Dict[str, Type[Message]] = {
+    cls.__name__: cls
+    for cls in (
+        PowerRequest,
+        PowerGrant,
+        GrantAck,
+        ExcessReport,
+        ReleaseDirective,
+        MembershipPing,
+        MembershipPingReq,
+        MembershipAck,
+        MembershipGossip,
+    )
 }
 
 
@@ -81,6 +118,54 @@ def config_from_dict(data: Dict[str, Any]) -> ManagerConfig:
         key: tuple(value) if isinstance(value, list) else value
         for key, value in data["fields"].items()
     }
+    return cls(**kwargs)
+
+
+# -- wire messages -----------------------------------------------------------
+
+
+def message_to_dict(message: Message) -> Dict[str, Any]:
+    """Encode any registered wire message as a JSON-safe dict.
+
+    ``Addr`` endpoints flatten to ``[node, port]`` pairs and piggybacked
+    gossip to ``[node, status, incarnation]`` rows.  The unstamped
+    ``send_time`` sentinel (``nan``) becomes ``null`` -- ``NaN`` is not
+    valid strict JSON, and :func:`canonical_json` output must parse
+    everywhere.
+    """
+    name = type(message).__name__
+    if name not in MESSAGE_TYPES:
+        raise TypeError(f"unregistered message type {name!r}")
+    payload: Dict[str, Any] = {}
+    for f in dataclasses.fields(message):
+        value: Any = getattr(message, f.name)
+        if f.name in ("src", "dst"):
+            value = [value.node, value.port]
+        elif f.name == "gossip":
+            value = [[u.node, u.status, u.incarnation] for u in value]
+        elif f.name == "send_time" and math.isnan(value):
+            value = None
+        payload[f.name] = value
+    return {"type": name, "fields": payload}
+
+
+def message_from_dict(data: Dict[str, Any]) -> Message:
+    """Decode :func:`message_to_dict` output back into its message type.
+
+    The original ``msg_id`` is preserved (request/reply correlation must
+    survive the process boundary), so decoding never draws from the
+    local message-id counter.
+    """
+    cls = MESSAGE_TYPES[data["type"]]
+    kwargs = dict(data["fields"])
+    kwargs["src"] = Addr(int(kwargs["src"][0]), str(kwargs["src"][1]))
+    kwargs["dst"] = Addr(int(kwargs["dst"][0]), str(kwargs["dst"][1]))
+    kwargs["gossip"] = tuple(
+        MembershipUpdate(int(node), str(status), int(incarnation))
+        for node, status, incarnation in kwargs["gossip"]
+    )
+    if kwargs["send_time"] is None:
+        kwargs["send_time"] = float("nan")
     return cls(**kwargs)
 
 

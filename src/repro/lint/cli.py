@@ -27,10 +27,12 @@ def add_lint_parser(sub: Any) -> None:
     """Register the ``lint`` subcommand on the top-level CLI parser."""
     cmd = sub.add_parser(
         "lint",
-        help="static determinism & conservation analysis (rules R1-R6)",
+        help="static determinism & conservation analysis (rules R1-R10)",
         description=(
             "AST-based analyzer enforcing the simulator's determinism and "
-            "watt-conservation invariants; see docs/LINTING.md."
+            "watt-conservation invariants; --project adds the whole-program "
+            "rules (layering, protocol conformance, RNG stream graph); see "
+            "docs/LINTING.md."
         ),
     )
     cmd.add_argument(
@@ -56,6 +58,15 @@ def add_lint_parser(sub: Any) -> None:
         help=(
             "pyproject.toml carrying [tool.repro-lint] "
             "(default: discovered upward from the first scan path)"
+        ),
+    )
+    cmd.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "whole-program mode: parse the tree once and additionally run "
+            "the cross-file rules (R8 layering, R9 protocol conformance, "
+            "R10 RNG stream graph)"
         ),
     )
     cmd.add_argument(
@@ -91,7 +102,9 @@ def run_lint_command(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        report = lint_paths(paths, rule_ids=rule_ids, config=config)
+        report = lint_paths(
+            paths, rule_ids=rule_ids, config=config, project=args.project
+        )
     except (KeyError, FileNotFoundError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"lint: {message}", file=sys.stderr)
@@ -133,7 +146,8 @@ def _print_text_report(report: LintReport, out: IO[str]) -> None:
 def _print_rule_table(out: IO[str]) -> None:
     for rule in all_rules():
         scope = ", ".join(rule.scope) if rule.scope else "entire tree"
-        print(f"{rule.rule_id}  {rule.name}", file=out)
+        mode = " [project mode]" if rule.requires_project else ""
+        print(f"{rule.rule_id}  {rule.name}{mode}", file=out)
         print(f"    {rule.summary}", file=out)
         print(f"    invariant: {rule.invariant}", file=out)
         print(f"    scope: {scope}", file=out)

@@ -12,18 +12,35 @@ declares:
     the package.  Empty means the whole tree.  Files *outside* a
     ``repro`` package (e.g. test fixtures) are always in scope, so
     fixture snippets can exercise scoped rules.
+``requires_project``
+    Whole-program rules (R8-R10) set this; they run once per analyzer
+    pass against a :class:`~repro.lint.project.ProjectContext` (built
+    only in ``--project`` mode) instead of once per file.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ProjectContext
+
 
 class Rule:
-    """One static invariant check over a parsed file."""
+    """One static invariant check over a parsed file (or whole program)."""
 
     rule_id: str = ""
     name: str = ""
@@ -31,8 +48,14 @@ class Rule:
     #: The dynamic guarantee this rule protects (shown by ``--list-rules``).
     invariant: str = ""
     scope: Tuple[str, ...] = ()
+    #: Whole-program rules override :meth:`check_project` instead of
+    #: :meth:`check` and only run in ``--project`` mode.
+    requires_project: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
         raise NotImplementedError
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -53,10 +76,19 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     return cls
 
 
+def _rule_sort_key(rule_id: str) -> Tuple[int, str]:
+    """Numeric ordering for ``R<n>`` ids (plain lexicographic ordering
+    would put R10 before R2)."""
+    digits = rule_id[1:]
+    if rule_id.startswith("R") and digits.isdigit():
+        return (int(digits), rule_id)
+    return (1_000_000, rule_id)
+
+
 def all_rules() -> List[Rule]:
     """Every registered rule, ordered by id."""
     _load_builtin_rules()
-    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY, key=_rule_sort_key)]
 
 
 def get_rules(rule_ids: Optional[Iterable[str]] = None) -> List[Rule]:

@@ -14,6 +14,9 @@ from repro.lint.rules import (  # noqa: F401  (import side effect: registration)
     r5_ledger_mutation,
     r6_callback_names,
     r7_scheduler_order,
+    r8_layering,
+    r9_protocol,
+    r10_stream_graph,
 )
 
 __all__ = [
@@ -24,4 +27,7 @@ __all__ = [
     "r5_ledger_mutation",
     "r6_callback_names",
     "r7_scheduler_order",
+    "r8_layering",
+    "r9_protocol",
+    "r10_stream_graph",
 ]

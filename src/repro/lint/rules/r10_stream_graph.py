@@ -1,0 +1,115 @@
+"""R10: RNG stream graph -- draws match the declared stream manifest.
+
+Per-file rule R2 stops ad-hoc generator *construction*; what it was
+actually meant to protect is the global stream *namespace*: a stream's
+state depends only on ``(root_seed, stream_name)``, so two modules that
+spell the same name share one generator and silently couple their
+draws.  ``sim/streams.py`` declares every stream-name template together
+with the modules allowed to draw it; this rule resolves every
+``.stream(...)`` call's name argument -- string literals, f-string
+templates (interpolations normalized to ``{}``) and names bound to
+module-level string constants -- and checks the draw graph against the
+manifest:
+
+* **unregistered stream** -- the resolved template matches no manifest
+  entry; register it (or fix the typo that forked the namespace).
+* **foreign stream** -- the drawing module is not among the template's
+  declared owners; cross-module reuse must be declared in the manifest
+  (a deliberate shared contract) or renamed.
+* **unresolvable name** -- the argument is dynamic; the stream graph
+  cannot be checked, so names must stay statically resolvable.
+* **manifest collision** -- two manifest entries whose templates are
+  equal or can produce the same concrete name.
+
+Manifest checks are skipped when no ``sim/streams.py`` is part of the
+scan (partial trees); unresolvable-name findings always apply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext, StreamEntry, template_overlaps
+from repro.lint.registry import Rule, register
+
+
+@register
+class StreamGraphRule(Rule):
+    rule_id = "R10"
+    name = "rng-stream-graph"
+    summary = (
+        "every RngRegistry.stream(...) draw uses a declared, collision-free "
+        "stream-name template from its declared owner module"
+    )
+    invariant = (
+        "global stream independence: the set of stream names is a "
+        "declared, collision-free namespace, so no two components ever "
+        "share generator state by accident"
+    )
+    scope = ()
+    requires_project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        entries = project.stream_entries
+        if entries is not None:
+            yield from self._manifest_collisions(project, entries)
+        for draw in project.stream_draws:
+            ctx = project.files[draw.path]
+            if draw.template is None:
+                yield ctx.finding(
+                    self.rule_id,
+                    draw.node,
+                    "stream name is not statically resolvable; use a "
+                    "string literal, f-string or module-level constant "
+                    "so the stream graph stays checkable",
+                )
+                continue
+            if entries is None or draw.module_path is None:
+                continue
+            entry = _entry_for(entries, draw.template)
+            if entry is None:
+                yield ctx.finding(
+                    self.rule_id,
+                    draw.node,
+                    f"draw on unregistered stream template "
+                    f"{draw.template!r}; declare it in sim/streams.py "
+                    "(STREAM_TABLE) with its owner modules",
+                )
+            elif not any(
+                draw.module_path.startswith(owner) for owner in entry.owners
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    draw.node,
+                    f"foreign draw on stream {draw.template!r}: "
+                    f"{draw.module_path} is not among its declared owners "
+                    f"{list(entry.owners)}; declare the shared contract "
+                    "in sim/streams.py or use a namespace this module owns",
+                )
+
+    def _manifest_collisions(
+        self, project: ProjectContext, entries: List[StreamEntry]
+    ) -> Iterator[Finding]:
+        for index, entry in enumerate(entries):
+            for other in entries[:index]:
+                if template_overlaps(entry.template, other.template):
+                    ctx = project.files[entry.path]
+                    yield ctx.finding(
+                        self.rule_id,
+                        entry.node,
+                        f"manifest collision: template {entry.template!r} "
+                        f"can produce the same stream name as "
+                        f"{other.template!r} (line {other.line}); streams "
+                        "sharing a name share generator state",
+                    )
+
+
+def _entry_for(entries: List[StreamEntry], template: str) -> Optional[StreamEntry]:
+    for entry in entries:
+        if entry.template == template:
+            return entry
+    return None
+
+
+__all__ = ["StreamGraphRule"]

@@ -44,11 +44,14 @@ from repro.net.messages import (
 from repro.net.network import Network
 from repro.net.server import RequestServer
 from repro.power.rapl import PowerCapInterface
-from repro.sim.engine import Engine
-from repro.sim.events import EventBase
-from repro.sim._stop import stop_process
-from repro.sim.process import Interrupt, Process
-from repro.sim.resources import Store
+from repro.sim import (
+    Engine,
+    EventBase,
+    Interrupt,
+    Process,
+    Store,
+    stop_process,
+)
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ instead of one (§1, benefit 3 of the peer-to-peer design).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.instrumentation import MetricsRecorder
 from repro.managers.slurm import (
@@ -54,7 +54,9 @@ class HaSlurmConfig(SlurmConfig):
 class HaSlurmClient(SlurmClient):
     """A client that fails over to the standby after repeated timeouts."""
 
-    def __init__(self, *args, server_addrs: Sequence[Addr], **kwargs) -> None:
+    def __init__(
+        self, *args: Any, server_addrs: Sequence[Addr], **kwargs: Any
+    ) -> None:
         if len(server_addrs) < 2:
             raise ValueError("HA client needs a primary and a standby address")
         super().__init__(*args, server_addr=server_addrs[0], **kwargs)

@@ -59,10 +59,15 @@ from repro.membership.view import (
 )
 from repro.net.messages import PORT_MEMBERSHIP, Addr, MembershipUpdate, Message
 from repro.net.network import Network
-from repro.sim._stop import stop_process
-from repro.sim.engine import Engine
-from repro.sim.events import Callback, EventBase, Timeout
-from repro.sim.process import Interrupt, Process
+from repro.sim import (
+    Callback,
+    Engine,
+    EventBase,
+    Interrupt,
+    Process,
+    Timeout,
+    stop_process,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard (core imports us)
     from repro.core.config import PenelopeConfig
@@ -383,10 +388,10 @@ class FailureDetector:
                 self.view.refute(update.incarnation)
                 self.recorder.bump("membership.refutes")
             return
-        self.view.apply(update, self.engine._now)
+        self.view.apply(update, self.engine.now)
 
     def _observe_alive(self, node: int) -> None:
-        accusation = self.view.observe_contact(node, self.engine._now)
+        accusation = self.view.observe_contact(node, self.engine.now)
         if accusation is None:
             return
         status, incarnation = accusation

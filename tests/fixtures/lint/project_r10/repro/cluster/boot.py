@@ -1,0 +1,11 @@
+"""Draw sites exercising every R10 check."""
+
+LATENCY_NAME = "net.latency"
+
+
+def wire(rng, node_id, dynamic_name):
+    foreign = rng.stream(LATENCY_NAME)
+    power = rng.stream(f"node.{node_id}.power")
+    typo = rng.stream("node.latency")
+    dynamic = rng.stream(dynamic_name)
+    return foreign, power, typo, dynamic

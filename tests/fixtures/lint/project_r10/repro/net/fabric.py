@@ -1,0 +1,5 @@
+"""Clean owner draw: net owns net.latency."""
+
+
+def wire(rng):
+    return rng.stream("net.latency")

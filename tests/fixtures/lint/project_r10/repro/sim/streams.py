@@ -1,0 +1,30 @@
+"""Fixture stream manifest carrying a deliberate template collision."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    template: str
+    owners: Tuple[str, ...]
+    purpose: str
+
+
+STREAM_TABLE = (
+    StreamSpec(
+        template="net.latency",
+        owners=("repro/net/",),
+        purpose="per-message latency draws",
+    ),
+    StreamSpec(
+        template="node.{}.power",
+        owners=("repro/cluster/",),
+        purpose="per-node power noise",
+    ),
+    StreamSpec(
+        template="node.{}",
+        owners=("repro/cluster/",),
+        purpose="collides with node.{}.power",
+    ),
+)

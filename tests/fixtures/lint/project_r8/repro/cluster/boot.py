@@ -1,0 +1,9 @@
+"""Composition root: full engine access is legitimate here."""
+
+from repro.sim.engine import Engine
+
+
+def wire_cluster() -> Engine:
+    engine = Engine()
+    _ = engine._now
+    return engine

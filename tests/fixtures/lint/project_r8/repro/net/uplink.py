@@ -1,0 +1,7 @@
+"""Bad: net (layer 1) reaching up into core (layer 2)."""
+
+from repro.core.direct import DirectDecider
+
+
+def build(engine):
+    return DirectDecider(engine)

@@ -1,0 +1,14 @@
+"""Substrate stub: the engine protocol layers must not import directly."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def step(self) -> None:
+        pass

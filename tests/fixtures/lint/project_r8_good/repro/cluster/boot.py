@@ -1,0 +1,10 @@
+"""Composition root: constructs the engine, full substrate access."""
+
+from repro.sim.engine import Engine
+from repro.core.direct import DirectDecider
+
+
+def wire_cluster() -> DirectDecider:
+    engine = Engine()
+    _ = engine._now
+    return DirectDecider(engine)

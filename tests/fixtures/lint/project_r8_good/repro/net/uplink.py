@@ -1,0 +1,11 @@
+"""Good: net stays on its own layer and below.
+
+The net layer is the seam itself, so direct engine imports and internal
+accesses are allowed here (only protocol layers are restricted).
+"""
+
+from repro.sim.engine import Engine
+
+
+def stamp(engine: Engine) -> float:
+    return engine._now

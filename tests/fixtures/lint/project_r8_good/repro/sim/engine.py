@@ -1,0 +1,13 @@
+"""Substrate stub (imported only through the facade or from cluster)."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def step(self) -> None:
+        pass

@@ -1,0 +1,8 @@
+"""Fixture codec: covers every type except Unencoded."""
+
+from repro.net.messages import Ghost, Orphan, Ping, Pong
+
+MESSAGE_TYPES = {
+    cls.__name__: cls
+    for cls in (Ping, Pong, Orphan, Ghost)
+}

@@ -1,0 +1,6 @@
+"""Same pattern as schedulers.py, but outside R7's scope: silent."""
+
+
+def drain(buckets: dict):
+    for key in buckets:
+        yield key

@@ -1,0 +1,27 @@
+"""Suppression interactions with the project-mode rules.
+
+R9 anchors findings where the decision is made: a send-site allow
+acknowledges one deliberate fire-and-forget send without blessing the
+type everywhere, and a handler-site allow keeps a dispatch arm through
+a migration.  R10 allows acknowledge one known-undeclared draw.
+"""
+
+from repro.net.messages import Ghost, Orphan
+
+
+def emit(network):
+    network.send(Orphan(src=1, dst=2))  # lint: allow[R9]
+    network.send(Orphan(src=3, dst=4))
+
+
+def handle(message):
+    # lint: allow[R9]
+    if isinstance(message, Ghost):
+        return True
+    return False
+
+
+def draws(rng):
+    first = rng.stream("bogus.stream")  # lint: allow[R10]
+    second = rng.stream("bogus.stream")  # lint: allow[R2]
+    return first, second

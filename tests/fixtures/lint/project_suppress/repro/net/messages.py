@@ -1,0 +1,19 @@
+"""Two protocol types, both broken on purpose (no codec module here)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    src: int = 0
+    dst: int = 0
+
+
+@dataclass(frozen=True)
+class Orphan(Message):
+    """Sent twice, never handled."""
+
+
+@dataclass(frozen=True)
+class Ghost(Message):
+    """Handled once, never constructed."""

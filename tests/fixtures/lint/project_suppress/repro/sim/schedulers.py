@@ -1,0 +1,8 @@
+"""R7-scoped file: suppression works inside the rule's scope prefix."""
+
+
+def drain(buckets: dict):
+    for key in buckets:  # lint: allow[R7]
+        yield key
+    for key in buckets:
+        yield key

@@ -1,0 +1,20 @@
+"""Minimal fixture manifest (one entry, owned by net)."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    template: str
+    owners: Tuple[str, ...]
+    purpose: str
+
+
+STREAM_TABLE = (
+    StreamSpec(
+        template="net.latency",
+        owners=("repro/net/",),
+        purpose="per-message latency draws",
+    ),
+)

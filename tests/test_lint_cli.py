@@ -70,13 +70,58 @@ class TestJsonReport:
         assert report["findings"] == []
 
 
+class TestProjectMode:
+    def test_clean_src_exits_zero_with_all_rules(self, capsys):
+        assert main(["lint", str(SRC), "--project"]) == 0
+        out = capsys.readouterr().out
+        assert "R8" in out and "R10" in out
+
+    def test_project_findings_exit_one(self, capsys):
+        code = main(["lint", str(FIXTURES / "project_r8"), "--project"])
+        assert code == 1
+        assert "R8" in capsys.readouterr().out
+
+    def test_without_flag_project_rules_skipped(self, capsys):
+        # The same bad tree is clean for the per-file rules, and the
+        # report does not pretend the project rules ran.
+        assert main(["lint", str(FIXTURES / "project_r8")]) == 0
+        out = capsys.readouterr().out
+        assert "R8" not in out
+
+    def test_project_json_shape(self, capsys):
+        main(
+            ["lint", str(FIXTURES / "project_r9"), "--project",
+             "--format", "json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules_run"] == [f"R{n}" for n in range(1, 11)]
+        assert report["counts"] == {"R9": 4}
+        assert all(f["rule"] == "R9" for f in report["findings"])
+
+    def test_rule_subset_with_project(self, capsys):
+        main(
+            ["lint", str(FIXTURES / "project_r10"), "--project",
+             "--rules", "R10", "--format", "json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules_run"] == ["R10"]
+        assert report["counts"] == {"R10": 4}
+
+
 class TestListRules:
-    def test_lists_all_six(self, capsys):
+    def test_lists_all_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+        for rule_id in (
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
+        ):
             assert rule_id in out
         assert "invariant:" in out
+
+    def test_project_rules_marked(self, capsys):
+        main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert out.count("[project mode]") == 3
 
 
 class TestConfigLoading:

@@ -15,9 +15,12 @@ import pytest
 from repro.lint import LintConfig, lint_file, lint_paths
 from repro.lint.findings import PARSE_ERROR_RULE
 from repro.lint.registry import all_rules, get_rules
+from repro.lint.runner import iter_python_files
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 REPO_ROOT = Path(__file__).parents[1]
+
+ALL_RULE_IDS = [f"R{n}" for n in range(1, 11)]
 
 
 def findings_for(name: str, rule_ids=None, config=None):
@@ -29,10 +32,37 @@ def rule_lines(findings, rule_id: str):
     return [f.line for f in findings if f.rule_id == rule_id]
 
 
+def project_report(tree: str, rule_ids=None, config=None):
+    return lint_paths(
+        [FIXTURES / tree],
+        rule_ids=rule_ids,
+        config=config or LintConfig(),
+        project=True,
+    )
+
+
+def located(report, rule_id: str):
+    """``(path-inside-the-fixture-package, line)`` pairs for one rule."""
+    return [
+        (f.path.split("/repro/", 1)[1], f.line)
+        for f in report.findings
+        if f.rule_id == rule_id
+    ]
+
+
 class TestRegistry:
-    def test_seven_rules_registered(self):
+    def test_ten_rules_registered_in_numeric_order(self):
+        # Numeric, not lexicographic: R10 sorts after R9, not after R1.
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+        assert ids == ALL_RULE_IDS
+
+    def test_project_rules_marked(self):
+        by_id = {rule.rule_id: rule for rule in all_rules()}
+        assert {r for r, rule in by_id.items() if rule.requires_project} == {
+            "R8",
+            "R9",
+            "R10",
+        }
 
     def test_rules_carry_documentation(self):
         for rule in all_rules():
@@ -143,6 +173,188 @@ class TestR7SchedulerOrder:
         assert lint_file(engine, get_rules(["R7"]), LintConfig()) == []
 
 
+class TestR8Layering:
+    def test_bad_tree_exact_locations(self):
+        report = project_report("project_r8", ["R8"])
+        assert located(report, "R8") == [
+            ("core/direct.py", 5),  # imports repro.sim.engine
+            ("core/direct.py", 6),  # imports repro.sim._stop
+            ("core/direct.py", 7),  # imports up-rank into cluster
+            ("core/direct.py", 18),  # engine._now
+            ("core/direct.py", 21),  # self.engine._queue
+            ("net/uplink.py", 3),  # imports up-rank into core
+        ]
+
+    def test_messages_name_the_violation_kind(self):
+        report = project_report("project_r8", ["R8"])
+        messages = [f.message for f in report.findings]
+        assert "substrate leak" in messages[0]
+        assert "layer violation" in messages[2]
+        assert "engine internals access ._now" in messages[3]
+
+    def test_good_tree_silent(self):
+        # Facade imports, engine.now, TYPE_CHECKING imports and the
+        # composition root's direct engine access are all legal.
+        assert project_report("project_r8_good").ok
+
+    def test_type_checking_imports_exempt(self):
+        # The bad tree's `if TYPE_CHECKING: from repro.sim.process ...`
+        # must not appear among the findings.
+        report = project_report("project_r8", ["R8"])
+        assert all(f.line != 10 for f in report.findings)
+
+    def test_non_project_run_skips_rule(self):
+        report = lint_paths([FIXTURES / "project_r8"])
+        assert report.ok
+        assert "R8" not in report.rules_run
+
+
+class TestR9Protocol:
+    def test_bad_tree_exact_locations(self):
+        report = project_report("project_r9", ["R9"])
+        assert located(report, "R9") == [
+            ("core/node.py", 9),  # Orphan sent, never handled
+            ("core/node.py", 16),  # Ghost handled, never constructed
+            ("core/node.py", 22),  # kind == "Typo"
+            ("net/messages.py", 37),  # Unencoded missing from codec
+        ]
+
+    def test_messages_name_the_types(self):
+        report = project_report("project_r9", ["R9"])
+        messages = [f.message for f in report.findings]
+        assert "Orphan" in messages[0] and "no module handles it" in messages[0]
+        assert "Ghost" in messages[1] and "dead handler arm" in messages[1]
+        assert "'Typo'" in messages[2]
+        assert "Unencoded" in messages[3] and "codec" in messages[3]
+
+    def test_live_types_silent(self):
+        # Ping (isinstance-handled) and Pong (kind-literal-handled) are
+        # fully live and codec-covered: no finding may mention them.
+        report = project_report("project_r9", ["R9"])
+        for finding in report.findings:
+            assert "Ping" not in finding.message
+            assert "Pong" not in finding.message
+
+    def test_codec_check_skipped_without_serialize_module(self):
+        # project_r8 has messages-free modules and no serialize.py: the
+        # codec surface is absent, so R9 must not invent codec findings.
+        report = project_report("project_r8", ["R9"])
+        assert report.ok
+
+
+class TestR10StreamGraph:
+    def test_bad_tree_exact_locations(self):
+        report = project_report("project_r10", ["R10"])
+        assert located(report, "R10") == [
+            ("cluster/boot.py", 7),  # foreign draw via module constant
+            ("cluster/boot.py", 9),  # unregistered template
+            ("cluster/boot.py", 10),  # dynamic name, unresolvable
+            ("sim/streams.py", 25),  # node.{} collides with node.{}.power
+        ]
+
+    def test_messages_name_the_check(self):
+        report = project_report("project_r10", ["R10"])
+        messages = [f.message for f in report.findings]
+        assert "foreign draw" in messages[0] and "'net.latency'" in messages[0]
+        assert "unregistered stream" in messages[1]
+        assert "not statically resolvable" in messages[2]
+        assert "manifest collision" in messages[3] and "line 20" in messages[3]
+
+    def test_owner_and_fstring_draws_silent(self):
+        # net.latency from repro/net/ and the f-string draw matching the
+        # node.{}.power template are both clean.
+        report = project_report("project_r10", ["R10"])
+        assert all(f.line != 8 for f in report.findings)
+        assert not any("fabric.py" in f.path for f in report.findings)
+
+
+class TestProjectSuppressions:
+    """Inline ``# lint: allow[Rn]`` interacting with project rules."""
+
+    def test_only_unsuppressed_findings_survive(self):
+        report = project_report("project_suppress")
+        keyed = [
+            (f.rule_id, f.path.split("/repro/", 1)[1], f.line)
+            for f in report.findings
+        ]
+        assert keyed == [
+            ("R9", "core/node.py", 14),
+            ("R10", "core/node.py", 26),
+            ("R7", "sim/schedulers.py", 7),
+        ]
+
+    def test_send_site_suppression_is_per_site(self):
+        # Line 13's allow[R9] silences that send only; the second Orphan
+        # send (line 14) still fires.
+        report = project_report("project_suppress", ["R9"])
+        assert located(report, "R9") == [("core/node.py", 14)]
+
+    def test_handler_site_suppression(self):
+        # The Ghost dead-handler arm is suppressed by the comment-above
+        # form: no R9 finding may anchor inside handle().
+        report = project_report("project_suppress", ["R9"])
+        assert all(f.line not in (19, 20) for f in report.findings)
+
+    def test_wrong_rule_comment_does_not_suppress(self):
+        # Line 26 carries allow[R2]; R10 must still fire there.
+        report = project_report("project_suppress", ["R10"])
+        assert located(report, "R10") == [("core/node.py", 26)]
+
+    def test_file_rule_scope_still_applies_in_project_mode(self):
+        # Identical dict iteration outside R7's scope prefix is silent,
+        # with or without suppressions.
+        report = project_report("project_suppress", ["R7"])
+        assert located(report, "R7") == [("sim/schedulers.py", 7)]
+
+    def test_config_allowlist_covers_project_rules(self):
+        config = LintConfig(allow={"R9": ("core/node.py",)})
+        report = project_report("project_suppress", config=config)
+        assert [f.rule_id for f in report.findings] == ["R10", "R7"]
+
+    def test_disabled_project_rule(self):
+        config = LintConfig(disabled=frozenset({"R9", "R10"}))
+        report = project_report("project_suppress", config=config)
+        assert [f.rule_id for f in report.findings] == ["R7"]
+
+
+class TestIterPythonFiles:
+    """Overlapping scan arguments must never scan a file twice."""
+
+    def test_dir_plus_nested_dir(self):
+        tree = FIXTURES / "project_r8"
+        once = list(iter_python_files([tree]))
+        overlapped = list(iter_python_files([tree, tree / "repro" / "core"]))
+        assert overlapped == once
+        resolved = [p.resolve() for p in overlapped]
+        assert len(resolved) == len(set(resolved))
+
+    def test_file_plus_containing_dir(self):
+        tree = FIXTURES / "project_r8"
+        target = tree / "repro" / "core" / "direct.py"
+        files = list(iter_python_files([target, tree]))
+        hits = [p for p in files if p.resolve() == target.resolve()]
+        assert len(hits) == 1
+
+    def test_same_path_twice(self):
+        tree = FIXTURES / "project_r8"
+        assert list(iter_python_files([tree, tree])) == list(
+            iter_python_files([tree])
+        )
+
+    def test_relative_and_absolute_spellings(self, monkeypatch):
+        monkeypatch.chdir(FIXTURES)
+        relative = Path("project_r8")
+        files = list(iter_python_files([relative, relative.resolve()]))
+        resolved = [p.resolve() for p in files]
+        assert len(resolved) == len(set(resolved))
+        assert resolved == [p.resolve() for p in iter_python_files([relative])]
+
+    def test_files_scanned_counts_unique_files(self):
+        tree = FIXTURES / "project_r8"
+        report = lint_paths([tree, tree / "repro" / "core"], project=True)
+        assert report.files_scanned == len(list(iter_python_files([tree])))
+
+
 class TestAllowlists:
     def test_inline_suppressions(self):
         findings = findings_for("allowlist_inline.py")
@@ -177,9 +389,20 @@ class TestParseErrors:
 
 class TestSelfScan:
     def test_source_tree_is_clean(self):
-        """The acceptance criterion: `repro lint src` finds nothing."""
+        """Per-file acceptance criterion: `repro lint src` finds nothing."""
         report = lint_paths([REPO_ROOT / "src"])
         formatted = "\n".join(f.format() for f in report.findings)
         assert report.ok, f"lint findings in src/:\n{formatted}"
         assert report.files_scanned > 70
+        # Without --project the cross-file rules are skipped and honestly
+        # left out of rules_run.
         assert list(report.rules_run) == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+
+    def test_source_tree_is_clean_in_project_mode(self):
+        """Whole-program acceptance criterion: `repro lint --project src`
+        exits clean -- the layer DAG holds, the protocol surface is
+        closed, and every stream draw matches the manifest."""
+        report = lint_paths([REPO_ROOT / "src"], project=True)
+        formatted = "\n".join(f.format() for f in report.findings)
+        assert report.ok, f"project-mode findings in src/:\n{formatted}"
+        assert list(report.rules_run) == ALL_RULE_IDS

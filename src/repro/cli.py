@@ -18,6 +18,13 @@ parameters for a quick look.  Sweep commands take ``--jobs N`` to fan
 runs out over worker processes, and cache finished runs under
 ``--cache-dir`` (default ``.repro-cache/``; disable with ``--no-cache``)
 so an interrupted or repeated sweep only executes what is missing.
+
+Long campaigns are resilient: ``--task-timeout``/``--max-retries`` bound
+each task (failures quarantine as structured records instead of
+aborting), ``--journal PATH`` write-ahead logs every spec state
+transition, and ``--resume JOURNAL`` restarts a crashed or SIGKILL'd
+campaign from its last durable state.  ``--harness-faults`` injects
+worker crashes/hangs/exceptions to exercise exactly that machinery.
 """
 
 from __future__ import annotations
@@ -40,8 +47,12 @@ from repro.experiments.report import (
 )
 from repro.experiments.runner import (
     DEFAULT_CACHE_DIR,
+    DEFAULT_RETRY,
+    RetryPolicy,
+    SweepFailure,
     add_progress_listener,
     remove_progress_listener,
+    split_failures,
 )
 from repro.experiments.scaling import (
     PAPER_FREQUENCIES_HZ,
@@ -90,6 +101,54 @@ def _add_runner_args(cmd: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="neither read nor write the result cache",
+    )
+    cmd.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append every spec state transition to a write-ahead campaign "
+            "journal (JSONL, fsync'd) at PATH"
+        ),
+    )
+    cmd.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "replay JOURNAL and re-execute only specs without a durable "
+            "done/quarantined record (implies --journal JOURNAL)"
+        ),
+    )
+    cmd.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-task wall-clock deadline; an expired task is charged a "
+            "retry and its worker pool is rebuilt (needs --jobs > 1)"
+        ),
+    )
+    cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "re-executions before a failing spec is quarantined as a "
+            f"TaskFailure record (default: {DEFAULT_RETRY.max_retries})"
+        ),
+    )
+    cmd.add_argument(
+        "--harness-faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "harness self-chaos: inject worker faults by sweep index, "
+            "e.g. 'crash:0,hang:1,raise:2' (crash/hang fire on the first "
+            "attempt only; raise poisons every attempt)"
+        ),
     )
 
 
@@ -298,6 +357,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="replay a repro file instead of fuzzing",
     )
+    fuzz.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append per-trial verdicts to a write-ahead campaign journal",
+    )
+    fuzz.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "replay JOURNAL and skip trials with a durable clean verdict "
+            "(implies --journal JOURNAL)"
+        ),
+    )
 
     from repro.experiments import bench as _bench
 
@@ -380,9 +454,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_dir=None if args.no_cache else args.cache_dir,
             use_cache=not args.no_cache,
         )
+        journal = args.resume if args.resume is not None else args.journal
+        if journal is not None:
+            runner_kwargs["journal"] = journal
+        if args.resume is not None:
+            runner_kwargs["resume"] = True
+        if args.task_timeout is not None or args.max_retries is not None:
+            runner_kwargs["retry"] = RetryPolicy(
+                max_retries=(
+                    args.max_retries
+                    if args.max_retries is not None
+                    else DEFAULT_RETRY.max_retries
+                ),
+                task_timeout_s=args.task_timeout,
+            )
+        if args.harness_faults is not None:
+            runner_kwargs["harness_faults"] = args.harness_faults
         add_progress_listener(print_progress)
     try:
         return _dispatch(args, runner_kwargs)
+    except SweepFailure as failure:
+        print(f"[sweep failed] {failure}", file=sys.stderr)
+        return 1
     finally:
         if args.command in SWEEP_COMMANDS:
             remove_progress_listener(print_progress)
@@ -480,16 +573,28 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             ),
             **runner_kwargs,
         )
-        print(format_chaos(results))
+        # Chaos keeps quarantined seeds in-slot: report the survivors,
+        # then the failures, and exit nonzero if any seed was lost.
+        completed, failures = split_failures(results)
+        print(format_chaos(completed))
+        for failure in failures:
+            print(
+                f"[quarantined] seed {args.seeds[failure.index]}: "
+                f"{failure.reason} ({failure.error_type}: {failure.message}) "
+                f"after {failure.attempts} attempt(s)",
+                file=sys.stderr,
+            )
         if args.metrics_out is not None:
             import json
 
             metrics = {
-                str(result.spec.seed): result.detector for result in results
+                str(result.spec.seed): result.detector for result in completed
             }
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 json.dump(metrics, handle, indent=2, sort_keys=True)
             print(f"[detector metrics written to {args.metrics_out}]", file=sys.stderr)
+        if failures:
+            return 1
     elif args.command == "fuzz":
         from repro.experiments import fuzz as fuzz_mod
 
@@ -517,7 +622,12 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             invariants=tuple(args.invariants) if args.invariants else None,
             self_test=args.self_test,
         )
-        report = fuzz_mod.run_fuzz(config)
+        fuzz_journal = args.resume if args.resume is not None else args.journal
+        report = fuzz_mod.run_fuzz(
+            config,
+            journal=fuzz_journal,
+            resume=args.resume is not None,
+        )
         print(fuzz_mod.format_fuzz(report))
         if report.repro is not None:
             fuzz_mod.write_repro(report.repro, args.out)
@@ -607,6 +717,15 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             format_allocation,
         )
 
+        # compare_allocation_quality forwards unknown keywords to the
+        # AllocationSpec template, so the executor options travel in the
+        # explicit runner_options dict.
+        sweep_kwargs = dict(runner_kwargs)
+        runner_options = {
+            key: sweep_kwargs.pop(key)
+            for key in ("retry", "journal", "resume", "harness_faults")
+            if key in sweep_kwargs
+        }
         traces = compare_allocation_quality(
             managers=args.managers,
             n_clients=args.clients,
@@ -614,7 +733,8 @@ def _dispatch(args: argparse.Namespace, runner_kwargs: dict) -> int:
             workload_scale=args.scale,
             observe_s=args.observe,
             seed=args.seed,
-            **runner_kwargs,
+            runner_options=runner_options,
+            **sweep_kwargs,
         )
         print(format_allocation(traces))
     else:  # pragma: no cover - argparse enforces the choices

@@ -24,27 +24,39 @@ from repro.experiments.metrics import (
     redistribution_time_s,
     turnaround_summary,
 )
+from repro.experiments.journal import CampaignJournal, TaskFailure, replay_journal
 from repro.experiments.runner import (
     ProgressEvent,
+    RetryPolicy,
+    SweepFailure,
     TaskKind,
     add_progress_listener,
+    raise_on_failures,
     remove_progress_listener,
     run_sweep,
     spec_fingerprint,
+    split_failures,
 )
 
 __all__ = [
     "MANAGER_FACTORIES",
+    "CampaignJournal",
     "ProgressEvent",
+    "RetryPolicy",
     "RunResult",
     "RunSpec",
+    "SweepFailure",
+    "TaskFailure",
     "TaskKind",
     "add_progress_listener",
+    "raise_on_failures",
     "redistribution_events",
     "redistribution_time_s",
     "remove_progress_listener",
+    "replay_journal",
     "run_single",
     "run_sweep",
     "spec_fingerprint",
+    "split_failures",
     "turnaround_summary",
 ]

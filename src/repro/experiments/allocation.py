@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.experiments import serialize
 from repro.experiments.harness import RunSpec, build_run
-from repro.experiments.runner import ProgressListener, TaskKind, run_sweep
+from repro.experiments.runner import (
+    ProgressListener,
+    TaskKind,
+    raise_on_failures,
+    run_sweep,
+)
 from repro.managers.base import ManagerConfig
 from repro.managers.podd import proportional_caps
 
@@ -238,21 +243,29 @@ def compare_allocation_quality(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressListener] = None,
+    runner_options: Optional[Dict[str, Any]] = None,
     **kwargs,
 ) -> Dict[str, AllocationTrace]:
     """Allocation traces for several managers under identical conditions.
 
     One spec per manager, fanned out (and cached) through
-    :func:`~repro.experiments.runner.run_sweep`.
+    :func:`~repro.experiments.runner.run_sweep`.  ``**kwargs`` feed the
+    :class:`AllocationSpec` template, so the resilient-executor options
+    (``retry``, ``journal``, ``resume``, ``harness_faults``) travel in
+    the explicit ``runner_options`` dict instead.
     """
     specs = [AllocationSpec(manager=manager, **kwargs) for manager in managers]
-    traces = run_sweep(
-        specs,
-        kind=ALLOCATION_RUN,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        progress=progress,
+    traces = raise_on_failures(
+        run_sweep(
+            specs,
+            kind=ALLOCATION_RUN,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            progress=progress,
+            **(runner_options or {}),
+        ),
+        context="allocation comparison",
     )
     return dict(zip(managers, traces))
 

@@ -611,8 +611,16 @@ def run_chaos_sweep(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[Any] = None,
-) -> List[ChaosResult]:
-    """Run a chaos sweep through the common parallel/cached executor."""
+    **runner_kwargs: Any,
+) -> List[Any]:
+    """Run a chaos sweep through the common parallel/cached executor.
+
+    Unlike the figure sweeps, quarantined seeds stay *in-slot* as
+    :class:`~repro.experiments.journal.TaskFailure` records: each chaos
+    seed is an independent campaign, so losing one is a reportable
+    partial result, not a reason to abort the storm (the CLI prints the
+    failure summary and exits nonzero).
+    """
     return run_sweep(
         specs,
         kind=CHAOS_RUN,
@@ -620,6 +628,7 @@ def run_chaos_sweep(
         cache_dir=cache_dir,
         use_cache=use_cache,
         progress=progress,
+        **runner_kwargs,
     )
 
 

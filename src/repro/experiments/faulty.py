@@ -16,12 +16,12 @@ surviving nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.analysis.stats import geometric_mean, normalized_performance
 from repro.cluster.faults import FaultPlan
 from repro.experiments.harness import RunSpec, needs_server_node
-from repro.experiments.runner import ProgressListener, run_sweep
+from repro.experiments.runner import ProgressListener, raise_on_failures, run_sweep
 from repro.workloads.apps import APP_NAMES, build_app
 from repro.workloads.generator import unique_pairs
 from repro.workloads.performance import runtime_at_constant_cap
@@ -119,6 +119,7 @@ def run_faulty_sweep(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressListener] = None,
+    **runner_kwargs: Any,
 ) -> FaultyResult:
     """Run the Figure 3 sweep: every run suffers its §4.4 failure.
 
@@ -169,12 +170,16 @@ def run_faulty_sweep(
                 )
                 slots.append((system, cap, pair))
 
-    runs = run_sweep(
-        specs,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        progress=progress,
+    runs = raise_on_failures(
+        run_sweep(
+            specs,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            progress=progress,
+            **runner_kwargs,
+        ),
+        context="faulty sweep",
     )
 
     by_slot = dict(zip(slots, runs))

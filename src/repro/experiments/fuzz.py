@@ -51,6 +51,7 @@ from repro.experiments.invariants import (
     violation_from_dict,
     violation_to_dict,
 )
+from repro.experiments.journal import CampaignJournal, replay_journal
 from repro.sim.config import SimConfig
 from repro.sim.rng import RngRegistry
 
@@ -360,45 +361,91 @@ def shrink(
 # -- the campaign -------------------------------------------------------------
 
 
-def run_fuzz(config: FuzzConfig) -> FuzzReport:
-    """Run one seeded campaign: sample, run, and shrink the first breach."""
+def _trial_fingerprint(master_seed: int, trial: int, spec: ChaosSpec) -> str:
+    """Content hash identifying one fuzz trial in the campaign journal."""
+    return serialize.sha256_of(
+        {"fuzz": master_seed, "trial": trial, "spec": chaos_spec_to_dict(spec)}
+    )
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    journal: Optional[str] = None,
+    resume: bool = False,
+) -> FuzzReport:
+    """Run one seeded campaign: sample, run, and shrink the first breach.
+
+    With a ``journal`` path every trial verdict is appended to a
+    write-ahead :class:`~repro.experiments.journal.CampaignJournal`;
+    ``resume=True`` replays it first and skips trials with a durable
+    *clean* verdict.  Trial sampling always draws for every trial slot
+    (skipped or not), so the sampled schedule sequence -- and therefore
+    any violation found after a resume -- is identical to an
+    uninterrupted campaign.  A restored *violated* trial re-runs live:
+    the shrink search is recomputed, which is deterministic anyway.
+    """
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
     invariants = config.resolve_invariants()
     rng = RngRegistry(seed=config.master_seed).stream("fuzz.sample")
     report = FuzzReport(config=config, trials_run=0)
-    for trial in range(config.trials):
-        spec = sample_spec(rng, config)
-        report.trials_run += 1
-        result = run_chaos_single(
-            spec, sim=_SIM, invariants=invariants, fail_fast=False
+    restored: Dict[str, Dict[str, Any]] = {}
+    if resume and journal is not None:
+        restored = replay_journal(journal).done
+    journal_log: Optional[CampaignJournal] = None
+    if journal is not None:
+        journal_log = CampaignJournal.open(
+            journal, "fuzz", f"seed={config.master_seed}", config.trials
         )
-        summary: Dict[str, Any] = {
-            "trial": trial,
-            "seed": spec.seed,
-            "n_clients": spec.n_clients,
-            "violated": None,
-        }
-        report.trials.append(summary)
-        if not result.violations:
-            continue
-        first = result.violations[0]
-        summary["violated"] = first.invariant
-        plan_dict = serialize.fault_plan_to_dict(build_chaos_plan(spec))
-        shrunk = shrink(
-            spec, plan_dict, invariants, first, config.max_shrink_runs
-        )
-        report.repro = {
-            "format": REPRO_FORMAT,
-            "master_seed": config.master_seed,
-            "trial": trial,
-            "spec": chaos_spec_to_dict(shrunk.spec),
-            "plan": shrunk.plan_dict,
-            "invariants": [inv.name for inv in invariants],
-            "sim": {"batched_ticks": False},
-            "violation": violation_to_dict(shrunk.violation),
-            "fault_count": fault_count(shrunk.plan_dict),
-            "shrink_runs": shrunk.runs_spent,
-        }
-        break
+    try:
+        for trial in range(config.trials):
+            spec = sample_spec(rng, config)
+            fingerprint = _trial_fingerprint(config.master_seed, trial, spec)
+            report.trials_run += 1
+            prior = restored.get(fingerprint)
+            if prior is not None and prior.get("violated") is None:
+                report.trials.append(dict(prior))
+                continue
+            if journal_log is not None:
+                journal_log.record_submitted(fingerprint, trial, 0)
+            result = run_chaos_single(
+                spec, sim=_SIM, invariants=invariants, fail_fast=False
+            )
+            summary: Dict[str, Any] = {
+                "trial": trial,
+                "seed": spec.seed,
+                "n_clients": spec.n_clients,
+                "violated": None,
+            }
+            report.trials.append(summary)
+            if not result.violations:
+                if journal_log is not None:
+                    journal_log.record_done(fingerprint, trial, dict(summary))
+                continue
+            first = result.violations[0]
+            summary["violated"] = first.invariant
+            plan_dict = serialize.fault_plan_to_dict(build_chaos_plan(spec))
+            shrunk = shrink(
+                spec, plan_dict, invariants, first, config.max_shrink_runs
+            )
+            report.repro = {
+                "format": REPRO_FORMAT,
+                "master_seed": config.master_seed,
+                "trial": trial,
+                "spec": chaos_spec_to_dict(shrunk.spec),
+                "plan": shrunk.plan_dict,
+                "invariants": [inv.name for inv in invariants],
+                "sim": {"batched_ticks": False},
+                "violation": violation_to_dict(shrunk.violation),
+                "fault_count": fault_count(shrunk.plan_dict),
+                "shrink_runs": shrunk.runs_spent,
+            }
+            if journal_log is not None:
+                journal_log.record_done(fingerprint, trial, dict(summary))
+            break
+    finally:
+        if journal_log is not None:
+            journal_log.close()
     return report
 
 

@@ -1,0 +1,301 @@
+"""Write-ahead campaign journal: crash-resumable sweep state.
+
+A sweep campaign that runs for hours across many worker processes must
+survive the death of the *driver* process, not just of its workers.  The
+:class:`CampaignJournal` gives :func:`repro.experiments.runner.run_sweep`
+a durable, append-only record of every spec state transition:
+
+``campaign``
+    Header: journal format, task-kind name, cache salt, spec count.
+    Appended once per ``run_sweep`` call; a file may hold several
+    campaigns (e.g. the multijob experiment's two waves), because every
+    other record is keyed by the spec's content fingerprint, which is
+    collision-free across kinds by construction.
+``submitted``
+    Attempt ``attempt`` of the spec was handed to a worker.
+``done``
+    The spec finished; the record embeds the full serialized result, so
+    a resume needs nothing but the journal (the result cache, when
+    enabled, is repopulated from it).
+``failed``
+    One attempt failed (exception, timeout, or worker crash); the spec
+    stays eligible for retry.
+``quarantined``
+    The spec exhausted its retry budget; the record embeds the
+    structured :class:`TaskFailure` that the sweep returns in-slot.
+
+Each record is one JSON line, flushed and ``fsync``'d before the runner
+acts on it -- the write-ahead discipline that makes `--resume` exact: a
+crash can lose at most the one in-flight record, and
+:func:`replay_journal` tolerates exactly that (an undecodable *final*
+line); an undecodable line anywhere else is real corruption and raises.
+
+Resume is idempotent: replaying a completed journal restores every
+result without re-executing anything, and re-resuming the restored
+campaign appends nothing new.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Union
+
+#: Journal schema identifier (bump on incompatible record-shape change).
+JOURNAL_FORMAT = "penelope-campaign/1"
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured in-slot record of a spec that exhausted its retries.
+
+    Returned by ``run_sweep`` *in the failed spec's slot* so one poisoned
+    spec never aborts a campaign: the result list keeps its full length
+    and callers decide whether a failure is fatal.  ``reason`` is one of
+    ``"exception"`` (the task raised), ``"timeout"`` (it exceeded the
+    per-task deadline) or ``"worker-crash"`` (its worker process died).
+    """
+
+    kind: str
+    fingerprint: str
+    index: int
+    reason: str
+    error_type: str
+    message: str
+    attempts: int
+
+
+def task_failure_to_dict(failure: TaskFailure) -> Dict[str, Any]:
+    """JSON-safe encoding of a :class:`TaskFailure` (journal + cache codec)."""
+    return dataclasses.asdict(failure)
+
+
+def task_failure_from_dict(data: Dict[str, Any]) -> TaskFailure:
+    """Decode :func:`task_failure_to_dict` output."""
+    return TaskFailure(
+        kind=str(data["kind"]),
+        fingerprint=str(data["fingerprint"]),
+        index=int(data["index"]),
+        reason=str(data["reason"]),
+        error_type=str(data["error_type"]),
+        message=str(data["message"]),
+        attempts=int(data["attempts"]),
+    )
+
+
+def _trim_torn_tail(path: Path) -> None:
+    """Drop the partial record a crash mid-write left after the last
+    newline (no-op for a missing, empty, or newline-terminated file)."""
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return
+    if not data or data.endswith(b"\n"):
+        return
+    cut = data.rfind(b"\n") + 1  # 0 when no newline survives at all
+    with path.open("r+b") as handle:
+        handle.truncate(cut)
+
+
+class CampaignJournal:
+    """Append-only JSONL journal, fsync'd per record.
+
+    Open with :meth:`open` (append-or-create); every ``record_*`` method
+    writes one line and forces it to disk before returning, so the
+    journal is always at least as advanced as any observable side effect
+    of the sweep.
+    """
+
+    def __init__(self, path: Union[str, Path], handle: IO[str]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = handle
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        kind: str,
+        salt: str,
+        total: int,
+    ) -> "CampaignJournal":
+        """Open ``path`` for appending and stamp a campaign header.
+
+        The durable history is never rewritten: resuming (or re-running a
+        related campaign into the same file) appends a fresh header and
+        new transitions after it.  The one exception is a *torn tail* --
+        bytes after the final newline, the partial record of a crash
+        mid-write.  Appending straight after it would fuse it with the
+        next record into an undecodable line in the *middle* of the file,
+        which :func:`replay_journal` rightly treats as corruption; since
+        records are written newline-terminated in one call, everything
+        after the last newline is provably incomplete and is trimmed.
+        """
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        _trim_torn_tail(target)
+        handle = target.open("a", encoding="utf-8")
+        journal = cls(target, handle)
+        journal._write(
+            {
+                "event": "campaign",
+                "journal": JOURNAL_FORMAT,
+                "kind": kind,
+                "salt": salt,
+                "total": total,
+            }
+        )
+        return journal
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError("journal is closed")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_submitted(self, fingerprint: str, index: int, attempt: int) -> None:
+        self._write(
+            {
+                "event": "submitted",
+                "fingerprint": fingerprint,
+                "index": index,
+                "attempt": attempt,
+            }
+        )
+
+    def record_done(
+        self, fingerprint: str, index: int, result: Dict[str, Any]
+    ) -> None:
+        self._write(
+            {
+                "event": "done",
+                "fingerprint": fingerprint,
+                "index": index,
+                "result": result,
+            }
+        )
+
+    def record_failed(
+        self,
+        fingerprint: str,
+        index: int,
+        attempt: int,
+        reason: str,
+        error_type: str,
+        message: str,
+    ) -> None:
+        self._write(
+            {
+                "event": "failed",
+                "fingerprint": fingerprint,
+                "index": index,
+                "attempt": attempt,
+                "reason": reason,
+                "error_type": error_type,
+                "message": message,
+            }
+        )
+
+    def record_quarantined(self, failure: TaskFailure) -> None:
+        self._write(
+            {
+                "event": "quarantined",
+                "fingerprint": failure.fingerprint,
+                "index": failure.index,
+                "failure": task_failure_to_dict(failure),
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class JournalReplay:
+    """The durable state recovered from a journal file.
+
+    ``done`` and ``quarantined`` map fingerprints to the embedded result
+    / failure payloads of their *latest* record; ``submitted`` holds
+    fingerprints whose last transition was an unfinished hand-off (the
+    specs that were in flight when the driver died).
+    """
+
+    path: Path
+    campaigns: List[Dict[str, Any]] = field(default_factory=list)
+    done: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    quarantined: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    submitted: Dict[str, int] = field(default_factory=dict)
+    records: int = 0
+
+
+def replay_journal(path: Union[str, Path]) -> JournalReplay:
+    """Fold a journal file into its latest per-fingerprint state.
+
+    A missing or empty file replays to an empty state (resuming a
+    campaign whose journal never got its first record is a fresh start).
+    An undecodable *final* line is the torn tail of a crash mid-write
+    and is ignored; an undecodable earlier line raises ``ValueError``.
+    """
+    replay = JournalReplay(path=Path(path))
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return replay
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if lineno == len(lines) - 1:
+                break  # torn tail of a crash mid-write
+            raise ValueError(
+                f"corrupt journal {path}: undecodable line {lineno + 1}"
+            ) from None
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"corrupt journal {path}: line {lineno + 1} is not a record"
+            )
+        event = record.get("event")
+        replay.records += 1
+        if event == "campaign":
+            if record.get("journal") != JOURNAL_FORMAT:
+                raise ValueError(
+                    f"not a {JOURNAL_FORMAT} journal: {path} declares "
+                    f"{record.get('journal')!r}"
+                )
+            replay.campaigns.append(record)
+            continue
+        fingerprint = str(record.get("fingerprint"))
+        if event == "submitted":
+            replay.submitted[fingerprint] = int(record.get("attempt", 0))
+        elif event == "done":
+            replay.done[fingerprint] = record["result"]
+            replay.submitted.pop(fingerprint, None)
+            replay.quarantined.pop(fingerprint, None)
+        elif event == "failed":
+            replay.submitted.pop(fingerprint, None)
+        elif event == "quarantined":
+            replay.quarantined[fingerprint] = record["failure"]
+            replay.submitted.pop(fingerprint, None)
+        else:
+            raise ValueError(
+                f"corrupt journal {path}: unknown event {event!r} "
+                f"at line {lineno + 1}"
+            )
+    if replay.records and not replay.campaigns:
+        raise ValueError(f"not a {JOURNAL_FORMAT} journal: {path} has no header")
+    return replay

@@ -24,7 +24,12 @@ from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.faults import FaultPlan
 from repro.experiments import serialize
 from repro.experiments.harness import extra_nodes, make_manager
-from repro.experiments.runner import ProgressListener, TaskKind, run_sweep
+from repro.experiments.runner import (
+    ProgressListener,
+    TaskKind,
+    raise_on_failures,
+    run_sweep,
+)
 from repro.instrumentation import MetricsRecorder
 from repro.managers.base import ManagerConfig
 from repro.sim.engine import Engine
@@ -261,6 +266,7 @@ def run_multijob_comparison(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressListener] = None,
+    **runner_kwargs: Any,
 ) -> MultiJobComparison:
     """The §4.4 generalization experiment.
 
@@ -284,11 +290,14 @@ def run_multijob_comparison(
 
     sweep = dict(
         kind=MULTIJOB_RUN, jobs=jobs, cache_dir=cache_dir,
-        use_cache=use_cache, progress=progress,
+        use_cache=use_cache, progress=progress, **runner_kwargs,
     )
-    fault_free = run_sweep(
-        [base_spec("fair")] + [base_spec(manager) for manager in managers],
-        **sweep,
+    fault_free = raise_on_failures(
+        run_sweep(
+            [base_spec("fair")] + [base_spec(manager) for manager in managers],
+            **sweep,
+        ),
+        context="multijob fault-free wave",
     )
     fair = fault_free[0]
     nominal = {
@@ -307,7 +316,13 @@ def run_multijob_comparison(
         faulted_specs.append(base_spec(manager, fault_plan=plan))
     faulty = {
         manager: result.runtime_s
-        for manager, result in zip(managers, run_sweep(faulted_specs, **sweep))
+        for manager, result in zip(
+            managers,
+            raise_on_failures(
+                run_sweep(faulted_specs, **sweep),
+                context="multijob faulted wave",
+            ),
+        )
     }
     return MultiJobComparison(
         fair_runtime_s=fair.runtime_s, nominal=nominal, faulty=faulty

@@ -9,11 +9,11 @@ overall.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
+from typing import Any, Dict, List, Optional, Sequence, Tuple  # noqa: F401
 
 from repro.analysis.stats import geometric_mean, normalized_performance
 from repro.experiments.harness import RunSpec
-from repro.experiments.runner import ProgressListener, run_sweep
+from repro.experiments.runner import ProgressListener, raise_on_failures, run_sweep
 from repro.workloads.apps import APP_NAMES
 from repro.workloads.generator import unique_pairs
 
@@ -81,6 +81,7 @@ def run_nominal_sweep(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressListener] = None,
+    **runner_kwargs: Any,
 ) -> NominalResult:
     """Run the full Figure 2 sweep (or a subset, for tests).
 
@@ -91,8 +92,12 @@ def run_nominal_sweep(
 
     Every run is independent, so the whole sweep is one flat spec list
     handed to :func:`~repro.experiments.runner.run_sweep`: ``jobs`` fans
-    it out over worker processes and ``cache_dir`` skips already-computed
-    runs (see the runner's docs for both).
+    it out over worker processes, ``cache_dir`` skips already-computed
+    runs, and any extra keyword (``retry``, ``journal``, ``resume``,
+    ``harness_faults``) passes straight through to the resilient
+    executor.  Because the figure aggregates every cell, a quarantined
+    spec raises :class:`~repro.experiments.runner.SweepFailure` instead
+    of poisoning the geomeans.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be at least 1")
@@ -122,12 +127,16 @@ def run_nominal_sweep(
                     specs.append(cell_spec(system, cap, pair, repetition))
                     slots.append((system, cap, pair))
 
-    runs = run_sweep(
-        specs,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        progress=progress,
+    runs = raise_on_failures(
+        run_sweep(
+            specs,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            progress=progress,
+            **runner_kwargs,
+        ),
+        context="nominal sweep",
     )
 
     runtimes: Dict[Tuple[str, float, Tuple[str, str]], List[float]] = {}

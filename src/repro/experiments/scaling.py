@@ -29,7 +29,12 @@ from repro.analysis.stats import DistributionSummary
 from repro.core.config import PenelopeConfig
 from repro.experiments import serialize
 from repro.experiments.harness import make_manager, needs_server_node
-from repro.experiments.runner import ProgressListener, TaskKind, run_sweep
+from repro.experiments.runner import (
+    ProgressListener,
+    TaskKind,
+    raise_on_failures,
+    run_sweep,
+)
 from repro.experiments.metrics import (
     redistribution_time_from_caps,
     timeout_rate,
@@ -533,6 +538,7 @@ def sweep_frequency(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressListener] = None,
+    **runner_kwargs: Any,
 ) -> Dict[Tuple[str, float], ScalingResult]:
     """Figures 4, 5, 7: fix the scale, sweep decider frequency."""
     template = base or ScalingSpec(manager="penelope", n_clients=n_clients, seed=seed)
@@ -559,13 +565,17 @@ def sweep_frequency(
                 )
             )
             keys.append((manager, freq))
-    runs = run_sweep(
-        points,
-        kind=SCALING_RUN,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        progress=progress,
+    runs = raise_on_failures(
+        run_sweep(
+            points,
+            kind=SCALING_RUN,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            progress=progress,
+            **runner_kwargs,
+        ),
+        context="frequency sweep",
     )
     return dict(zip(keys, runs))
 
@@ -581,6 +591,7 @@ def sweep_pairs(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressListener] = None,
+    **runner_kwargs: Any,
 ) -> Dict[Tuple[str, Tuple[str, str]], ScalingResult]:
     """The paper's per-pair distributions: one scaling run per application
     pair, using windowed pair profiles (§4.5: "we compute the value in
@@ -609,13 +620,17 @@ def sweep_pairs(
                 )
             )
             keys.append((manager, pair))
-    runs = run_sweep(
-        points,
-        kind=SCALING_RUN,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        progress=progress,
+    runs = raise_on_failures(
+        run_sweep(
+            points,
+            kind=SCALING_RUN,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            progress=progress,
+            **runner_kwargs,
+        ),
+        context="pair sweep",
     )
     return dict(zip(keys, runs))
 
@@ -631,6 +646,7 @@ def sweep_scale(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     progress: Optional[ProgressListener] = None,
+    **runner_kwargs: Any,
 ) -> Dict[Tuple[str, int], ScalingResult]:
     """Figures 6, 8: fix the frequency at 1/s, sweep the node count."""
     template = base or ScalingSpec(manager="penelope", seed=seed)
@@ -649,12 +665,16 @@ def sweep_scale(
                 )
             )
             keys.append((manager, scale))
-    runs = run_sweep(
-        points,
-        kind=SCALING_RUN,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        progress=progress,
+    runs = raise_on_failures(
+        run_sweep(
+            points,
+            kind=SCALING_RUN,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            progress=progress,
+            **runner_kwargs,
+        ),
+        context="scale sweep",
     )
     return dict(zip(keys, runs))

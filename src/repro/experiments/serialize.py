@@ -19,11 +19,12 @@ import dataclasses
 import hashlib
 import json
 import math
-from typing import Any, Dict, Optional, Type
+from typing import Any, Dict, Type
 
 from repro.cluster.faults import FaultPlan
 from repro.core.config import PenelopeConfig
 from repro.experiments.harness import RunResult, RunSpec
+from repro.experiments.journal import TaskFailure
 from repro.instrumentation import (
     CapSample,
     LedgerSample,
@@ -427,6 +428,40 @@ def network_stats_from_dict(data: Dict[str, Any]) -> NetworkStats:
         reordered_by_kind={
             str(k): int(v) for k, v in data.get("reordered_by_kind", {}).items()
         },
+    )
+
+
+# -- sweep failure records ---------------------------------------------------
+
+# The record type itself lives in ``repro.experiments.journal`` (kept
+# stdlib-only so journal replay never depends on the simulation stack);
+# this is its strict-checked wire codec, shaped like every other
+# ``*_to_dict``/``*_from_dict`` pair here.
+
+
+def task_failure_to_dict(failure: TaskFailure) -> Dict[str, Any]:
+    """Encode a quarantined-spec record as a JSON-safe dict."""
+    return {
+        "kind": failure.kind,
+        "fingerprint": failure.fingerprint,
+        "index": failure.index,
+        "reason": failure.reason,
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "attempts": failure.attempts,
+    }
+
+
+def task_failure_from_dict(data: Dict[str, Any]) -> TaskFailure:
+    """Decode :func:`task_failure_to_dict` output."""
+    return TaskFailure(
+        kind=str(data["kind"]),
+        fingerprint=str(data["fingerprint"]),
+        index=int(data["index"]),
+        reason=str(data["reason"]),
+        error_type=str(data["error_type"]),
+        message=str(data["message"]),
+        attempts=int(data["attempts"]),
     )
 
 

@@ -17,6 +17,7 @@ from repro.lint.rules import (  # noqa: F401  (import side effect: registration)
     r8_layering,
     r9_protocol,
     r10_stream_graph,
+    r11_future_timeouts,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "r8_layering",
     "r9_protocol",
     "r10_stream_graph",
+    "r11_future_timeouts",
 ]

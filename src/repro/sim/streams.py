@@ -120,6 +120,15 @@ STREAM_TABLE: Tuple[StreamSpec, ...] = (
         owners=("repro/experiments/fuzz.py",),
         purpose="chaos-spec sampling in fuzz campaigns",
     ),
+    StreamSpec(
+        # Harness-side only: the delay before retrying one failed sweep
+        # task.  Seeded from (fingerprint, attempt) in a throwaway
+        # registry, so retry scheduling can never perturb a simulation
+        # stream -- results stay byte-identical with and without retries.
+        template="runner.retry.{}",
+        owners=("repro/experiments/runner.py",),
+        purpose="per-task retry backoff jitter in the resilient sweep executor",
+    ),
 )
 
 

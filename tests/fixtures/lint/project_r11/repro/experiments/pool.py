@@ -1,0 +1,20 @@
+"""R11 fixture: unbounded future waits in the experiments layer.
+
+Line numbers are pinned by tests/test_lint_rules.py -- edit with care.
+"""
+
+from concurrent.futures import as_completed, wait
+
+
+def harvest_bad(futures):
+    wait(futures)                                   # line 10: bare wait
+    for future in as_completed(futures):            # line 11: bare as_completed
+        print(future.result())                      # line 12: bare result
+
+
+def harvest_good(futures):
+    wait(futures, timeout=5.0)
+    wait(futures, 5.0)
+    for future in as_completed(futures, timeout=5.0):
+        print(future.result(timeout=0))
+        print(future.result(5.0))

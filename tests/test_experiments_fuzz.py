@@ -239,3 +239,44 @@ class TestFuzzCli:
         assert rc == 0
         assert "no invariant violations" in capsys.readouterr().out
         assert not (tmp_path / "repro.json").exists()
+
+
+class TestFuzzResume:
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError, match="requires a journal"):
+            run_fuzz(SELFTEST, resume=True)
+
+    def test_clean_campaign_resumes_without_reexecution(
+        self, tmp_path, monkeypatch
+    ):
+        import types
+
+        import repro.experiments.fuzz as fuzz_mod
+
+        calls = []
+
+        def fake_run(spec, sim=None, plan=None, invariants=None, fail_fast=False):
+            calls.append(spec.seed)
+            return types.SimpleNamespace(violations=[])
+
+        monkeypatch.setattr(fuzz_mod, "run_chaos_single", fake_run)
+        journal = str(tmp_path / "fuzz.jsonl")
+        config = FuzzConfig(trials=4, master_seed=3, duration_s=10.0)
+        first = run_fuzz(config, journal=journal)
+        assert len(calls) == 4
+        resumed = run_fuzz(config, journal=journal, resume=True)
+        # Every trial had a durable clean verdict: nothing re-executed,
+        # yet sampling still drew for every slot (same trial summaries).
+        assert len(calls) == 4
+        assert resumed.trials == first.trials
+        assert resumed.repro is None
+
+    def test_violated_campaign_resume_matches(self, tmp_path, selftest_report):
+        journal = str(tmp_path / "fuzz.jsonl")
+        first = run_fuzz(SELFTEST, journal=journal)
+        resumed = run_fuzz(SELFTEST, journal=journal, resume=True)
+        assert resumed.trials == first.trials
+        assert resumed.repro == first.repro
+        # Journaling and resuming never perturb the sampled schedule.
+        assert first.trials == selftest_report.trials
+        assert first.repro == selftest_report.repro

@@ -8,6 +8,7 @@ loop for every N.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import pytest
@@ -137,3 +138,38 @@ class TestProgress:
     def test_jobs_none_uses_all_cpus(self):
         results = run_sweep(ECHO_SPECS, kind=ECHO, jobs=None)
         assert results == [{"value": i} for i in range(5)]
+
+
+# -- duration accounting -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SleepSpec:
+    value: int
+    seconds: float
+
+
+def run_sleepy(spec: SleepSpec) -> dict:
+    time.sleep(spec.seconds)
+    return {"value": spec.value}
+
+
+SLEEPY = TaskKind(
+    name="sleepy",
+    fn=run_sleepy,
+    spec_to_dict=lambda s: {"value": s.value, "seconds": s.seconds},
+    result_to_dict=lambda r: dict(r),
+    result_from_dict=lambda d: {"value": int(d["value"])},
+)
+
+
+class TestDurationAccounting:
+    def test_parallel_duration_is_per_task_not_cumulative(self):
+        # Regression: the old parallel path timed each result against the
+        # *sweep* start, so with 4 x 0.5s tasks on 2 workers the second
+        # wave reported ~1.0s each.  Per-task timing stays near 0.5s.
+        specs = [SleepSpec(i, 0.5) for i in range(4)]
+        events = []
+        run_sweep(specs, kind=SLEEPY, jobs=2, progress=events.append)
+        assert len(events) == 4
+        assert all(0.4 <= e.duration_s < 0.85 for e in events)

@@ -94,7 +94,7 @@ class TestProjectMode:
              "--format", "json"]
         )
         report = json.loads(capsys.readouterr().out)
-        assert report["rules_run"] == [f"R{n}" for n in range(1, 11)]
+        assert report["rules_run"] == [f"R{n}" for n in range(1, 12)]
         assert report["counts"] == {"R9": 4}
         assert all(f["rule"] == "R9" for f in report["findings"])
 
@@ -113,7 +113,7 @@ class TestListRules:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11"
         ):
             assert rule_id in out
         assert "invariant:" in out
@@ -121,7 +121,7 @@ class TestListRules:
     def test_project_rules_marked(self, capsys):
         main(["lint", "--list-rules"])
         out = capsys.readouterr().out
-        assert out.count("[project mode]") == 3
+        assert out.count("[project mode]") == 4
 
 
 class TestConfigLoading:

@@ -15,12 +15,13 @@ import pytest
 from repro.lint import LintConfig, lint_file, lint_paths
 from repro.lint.findings import PARSE_ERROR_RULE
 from repro.lint.registry import all_rules, get_rules
+from repro.lint.rules.r11_future_timeouts import FutureTimeoutRule
 from repro.lint.runner import iter_python_files
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 REPO_ROOT = Path(__file__).parents[1]
 
-ALL_RULE_IDS = [f"R{n}" for n in range(1, 11)]
+ALL_RULE_IDS = [f"R{n}" for n in range(1, 12)]
 
 
 def findings_for(name: str, rule_ids=None, config=None):
@@ -51,7 +52,7 @@ def located(report, rule_id: str):
 
 
 class TestRegistry:
-    def test_ten_rules_registered_in_numeric_order(self):
+    def test_eleven_rules_registered_in_numeric_order(self):
         # Numeric, not lexicographic: R10 sorts after R9, not after R1.
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == ALL_RULE_IDS
@@ -62,6 +63,7 @@ class TestRegistry:
             "R8",
             "R9",
             "R10",
+            "R11",
         }
 
     def test_rules_carry_documentation(self):
@@ -266,6 +268,35 @@ class TestR10StreamGraph:
         report = project_report("project_r10", ["R10"])
         assert all(f.line != 8 for f in report.findings)
         assert not any("fabric.py" in f.path for f in report.findings)
+
+
+class TestR11FutureTimeouts:
+    def test_bad_fixture_exact_lines(self):
+        report = project_report("project_r11", ["R11"])
+        assert located(report, "R11") == [
+            ("experiments/pool.py", 10),  # bare wait()
+            ("experiments/pool.py", 11),  # bare as_completed()
+            ("experiments/pool.py", 12),  # bare .result()
+        ]
+
+    def test_timeout_carrying_calls_silent(self):
+        # harvest_good passes timeouts (keyword and positional) -- every
+        # finding must come from harvest_bad (lines 10-12).
+        report = project_report("project_r11", ["R11"])
+        assert all(f.line <= 12 for f in report.findings)
+
+    def test_messages_name_the_call(self):
+        report = project_report("project_r11", ["R11"])
+        messages = [f.message for f in report.findings]
+        assert "wait()" in messages[0]
+        assert "as_completed()" in messages[1]
+        assert ".result()" in messages[2]
+
+    def test_scoped_to_experiments_layer(self):
+        # The same bare calls outside repro/experiments are not R11's
+        # business (the executor owns the bounded-harvest invariant).
+        assert FutureTimeoutRule.scope == ("repro/experiments",)
+        assert FutureTimeoutRule.requires_project is True
 
 
 class TestProjectSuppressions:
